@@ -1,0 +1,17 @@
+"""Shared benchmark helpers.
+
+Every benchmark wraps one experiment driver from
+:mod:`repro.analysis.experiments` (usually with reduced parameters so the
+suite stays fast), times it with pytest-benchmark, and asserts the shape
+claims the paper makes — who wins, by roughly what factor, where the
+behaviour changes.  Absolute numbers are simulator-specific and not
+asserted.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (experiment drivers are heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

@@ -1,0 +1,15 @@
+"""E12 — derived wait-free objects under failure injection."""
+
+from repro.analysis.experiments import run_e12
+
+from .conftest import run_once
+
+
+def test_bench_e12_derived_objects_safe_under_failures(benchmark):
+    table = run_once(benchmark, run_e12, n=4)
+    # Shape: every derived object keeps its safety property with a process
+    # suffering an 8x slowdown window (timing failures).
+    assert all(table.column("safe under failures")), table.render()
+    # Shape: all objects complete in bounded time in both regimes.
+    for column in ("clean time (Δ)", "with failures (Δ)"):
+        assert all(v is not None and v < 500 for v in table.column(column))

@@ -1,0 +1,93 @@
+"""Algorithm 3 as a lock service: fast when timing holds, safe when not.
+
+Run::
+
+    python examples/lock_service.py
+
+Scenario: four workers hammer a shared critical section.
+
+* Phase A (clean): the doorway serializes everyone — handovers cost O(Δ),
+  independent of the worker count.
+* Phase B (a timing-failure storm): the doorway is breached and several
+  workers flood the embedded asynchronous lock, which keeps the critical
+  section exclusive (stabilization).
+* Phase C (clean again): the flood drains and handovers return to O(Δ)
+  (convergence — the resilience definition, checked by the library's
+  own resilience checker).
+
+A pure bakery lock run on the same workload shows the price of not using
+the timing assumption: handovers cost Θ(n) steps even in phase A.
+"""
+
+from repro.algorithms import BakeryLock, mutex_session
+from repro.core.mutex import default_time_resilient_mutex
+from repro.core.resilience import check_resilience
+from repro.sim import (
+    ConstantTiming,
+    Engine,
+    FailureWindowTiming,
+    failure_window,
+)
+from repro.spec import check_mutex, time_complexity
+
+DELTA = 1.0
+N = 4
+SESSIONS = 8
+
+
+def run_workload_n(lock, timing, n):
+    engine = Engine(delta=DELTA, timing=timing, max_time=100_000.0)
+    for pid in range(n):
+        engine.spawn(
+            mutex_session(lock, pid, SESSIONS, cs_duration=0.3,
+                          ncs_duration=0.4),
+            pid=pid,
+        )
+    return engine.run()
+
+
+def run_workload(lock, timing):
+    return run_workload_n(lock, timing, N)
+
+
+def main() -> None:
+    storm = FailureWindowTiming(
+        ConstantTiming(0.25 * DELTA),
+        [failure_window(start=8.0, end=16.0, stretch=25.0)],
+    )
+
+    print("=== Algorithm 3 (Fischer doorway + Bar-David(Lamport fast)) ===")
+    lock = default_time_resilient_mutex(N, delta=DELTA)
+    result = run_workload(lock, storm)
+    verdict = check_mutex(result.trace)
+    report = check_resilience(result.trace, psi_deltas=8.0)
+    print(f"status            : {result.status.value}")
+    print(f"CS entries        : {len(result.trace.cs_intervals())} "
+          f"(expected {N * SESSIONS})")
+    print(f"timing failures   : {len(result.trace.timing_failures())}")
+    print(f"mutual exclusion  : {'held' if verdict.safe else 'VIOLATED'}")
+    print(f"efficiency (preΔ) : metric {report.efficiency_value:.2f} <= "
+          f"ψ = {report.psi:.2f}: {report.efficiency_ok}")
+    print(f"convergence       : {report.convergence_time:.2f} time units "
+          f"after failures stopped" if report.converged else
+          "convergence       : not within this trace")
+
+    from repro.analysis import render_timeline
+    print("\ntimeline (the storm is visible as ! marks):")
+    print(render_timeline(result.trace, width=100))
+
+    print("\n=== the contrast: paper metric vs n, clean timing ===")
+    clean = ConstantTiming(0.25 * DELTA)
+    print(f"{'n':>4}  {'Algorithm 3':>12}  {'Bakery':>8}")
+    for n in (2, 4, 8, 16):
+        alg3_run = run_workload_n(default_time_resilient_mutex(n, delta=DELTA),
+                                  clean, n)
+        bakery_run = run_workload_n(BakeryLock(n), clean, n)
+        print(f"{n:>4}  {time_complexity(alg3_run.trace):>12.2f}  "
+              f"{time_complexity(bakery_run.trace):>8.2f}")
+    print("-> Algorithm 3 stays O(Δ) while the bakery's Θ(n) scans grow: "
+          "the crossover lands by n = 8")
+
+
+if __name__ == "__main__":
+    main()

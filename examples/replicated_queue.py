@@ -1,0 +1,92 @@
+"""A wait-free replicated FIFO queue from atomic registers.
+
+Run::
+
+    python examples/replicated_queue.py
+
+The paper's §1.4 invokes Herlihy's universality: wait-free consensus from
+registers gives a wait-free implementation of *any* sequential object.
+This example builds a FIFO queue through the universal construction over
+time-resilient consensus and drives it with two producers and two
+consumers — one producer crashing mid-stream, one consumer suffering a
+timing-failure window — then verifies the observed history is
+linearizable against the sequential queue specification.
+"""
+
+from repro.core.derived import Universal
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    failure_window,
+)
+from repro.spec import (QueueModel, check_linearizability, history_from_trace,
+                        pending_from_trace)
+
+DELTA = 1.0
+N = 4
+
+
+def producer(queue: Universal, pid: int, items):
+    client = queue.client(pid)
+    for item in items:
+        yield from client.invoke("enqueue", item)
+    return f"produced {len(items)}"
+
+
+def consumer(queue: Universal, pid: int, attempts: int):
+    client = queue.client(pid)
+    got = []
+    for _ in range(attempts):
+        item = yield from client.invoke("dequeue")
+        if item is not None:
+            got.append(item)
+    return got
+
+
+def main() -> None:
+    queue = Universal(n=N, delta=DELTA, model=QueueModel(), object_id="jobs")
+
+    timing = FailureWindowTiming(
+        ConstantTiming(0.5 * DELTA),
+        # consumer 3 stalls hard mid-run
+        [failure_window(start=40.0, end=90.0, pids=[3], stretch=30.0)],
+    )
+    # producer 1 crashes after 120 shared steps (mid-enqueue, perhaps)
+    crashes = CrashSchedule(after_steps={1: 120})
+
+    engine = Engine(delta=DELTA, timing=timing, crashes=crashes,
+                    max_time=100_000.0)
+    engine.spawn(producer(queue, 0, [f"a{i}" for i in range(4)]), pid=0)
+    engine.spawn(producer(queue, 1, [f"b{i}" for i in range(4)]), pid=1)
+    engine.spawn(consumer(queue, 2, attempts=6), pid=2)
+    engine.spawn(consumer(queue, 3, attempts=4), pid=3)
+    result = engine.run()
+
+    print(f"status          : {result.status.value}")
+    print(f"crashed         : {result.crashed_pids}")
+    print(f"timing failures : {len(result.trace.timing_failures())}")
+    for pid, value in sorted(result.returns.items()):
+        print(f"p{pid} -> {value!r}")
+
+    history = history_from_trace(result.trace, obj="jobs")
+    pending = pending_from_trace(result.trace, obj="jobs")
+    verdict = check_linearizability(history, QueueModel(), pending=pending)
+    print(f"completed ops   : {len(history)} (+{len(pending)} pending from the crash)")
+    print(f"linearizable    : {verdict.ok} "
+          f"(search explored {verdict.explored} nodes)")
+    assert verdict.ok
+
+    # Each consumer individually observes every producer's items in FIFO
+    # order (the global FIFO interleaving is certified by the witness).
+    for pid in (2, 3):
+        got = result.returns.get(pid, [])
+        for prefix in ("a", "b"):
+            seq = [v for v in got if str(v).startswith(prefix)]
+            assert seq == sorted(seq), f"p{pid} saw {prefix}-items out of order: {seq}"
+    print("per-producer FIFO order preserved through the crash and the stall")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Baseline algorithms from the literature the paper builds on or cites.
+
+Mutual exclusion: Fischer (Algorithm 2), Lamport's fast lock, the bakery,
+the Black-White bakery, Peterson's 2-process and filter locks, the
+tournament tree, and the Bar-David starvation-freedom transformation.
+
+Consensus: the one-shot fast timing-based algorithm (Alur–Taubenfeld
+style, *not* failure-resilient) and the unknown-bound time-adaptive
+algorithm (Alur–Attiya–Taubenfeld style).
+"""
+
+from .aat_consensus import AatConsensus
+from .at_consensus import AtConsensus
+from .bakery import BakeryLock
+from .bar_david import BarDavidLock
+from .base import DurationFn, MutexAlgorithm, MutexProperties, mutex_session
+from .black_white_bakery import BLACK, WHITE, BlackWhiteBakeryLock
+from .fischer import FREE, FischerLock
+from .lamport_fast import LamportFastLock
+from .peterson import FilterLock, PetersonTwoProcess
+from .rmw import CasConsensus, TestAndSetLock, TicketLock
+from .tournament import TournamentLock
+
+__all__ = [
+    "MutexAlgorithm",
+    "MutexProperties",
+    "mutex_session",
+    "DurationFn",
+    "FischerLock",
+    "FREE",
+    "LamportFastLock",
+    "BakeryLock",
+    "BlackWhiteBakeryLock",
+    "BLACK",
+    "WHITE",
+    "PetersonTwoProcess",
+    "FilterLock",
+    "TournamentLock",
+    "BarDavidLock",
+    "AtConsensus",
+    "AatConsensus",
+    "TicketLock",
+    "TestAndSetLock",
+    "CasConsensus",
+]

@@ -1,0 +1,76 @@
+"""One-shot fast timing-based consensus (Alur–Taubenfeld style).
+
+The per-round building block of Algorithm 1 ([4, 5, 6] in the paper),
+packaged as a standalone consensus algorithm: flag your value, publish it
+in ``y`` if first, decide your value if the conflicting flag is clear,
+otherwise wait ``Δ`` and decide whatever ``y`` holds.
+
+.. code-block:: none
+
+    x[v] := 1
+    if y = ⊥ then y := v
+    if x[¬v] = 0 then decide(v)
+    else delay(Δ); decide(y)
+
+Properties:
+
+* always terminates, in a constant number of steps (wait-free uncondition-
+  ally — there is no loop);
+* **agreement holds only when the timing constraints are met.**  A timing
+  failure that stalls one process's write to ``y`` between its read of
+  ``y = ⊥`` and the write lets two processes decide conflicting values.
+
+This is the contrast object for experiment E6/E13-style safety sweeps:
+under failure injection, :class:`AtConsensus` *does* produce disagreement
+while Algorithm 1 never does — which is precisely the gap the paper's
+notion of resilience closes.  (Algorithm 1 turns the unsafe "decide
+``y``" into the safe "adopt ``y`` as next round's preference".)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import ops
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+
+__all__ = ["AtConsensus"]
+
+_BOTTOM = None
+
+
+class AtConsensus:
+    """One-shot fast timing-based (non-resilient) consensus."""
+
+    name = "at_consensus"
+
+    def __init__(
+        self, delta: float, namespace: Optional[RegisterNamespace] = None
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        ns = namespace if namespace is not None else RegisterNamespace.unique("at_consensus")
+        self.x = ns.array("x", 0)
+        self.y = ns.register("y", _BOTTOM)
+
+    def propose(self, pid: int, value: Any) -> Program:
+        if value not in (0, 1):
+            raise ValueError(f"binary consensus: proposal must be 0 or 1, got {value!r}")
+        other = 1 - value
+        yield self.x[value].write(1)
+        y_val = yield self.y.read()
+        if y_val is _BOTTOM:
+            yield self.y.write(value)
+        flag = yield self.x[other].read()
+        if flag == 0:
+            decision = value
+        else:
+            yield ops.delay(self.delta)
+            decision = yield self.y.read()
+        yield ops.label(ops.DECIDED, decision)
+        return decision
+
+    def __repr__(self) -> str:
+        return f"AtConsensus(delta={self.delta})"

@@ -1,0 +1,90 @@
+"""Lamport's bakery algorithm (CACM 1974).
+
+The classic asynchronous, starvation-free (indeed FIFO-fair) lock from
+atomic registers.  Every entry scans all ``n`` processes twice (once to
+take a ticket, once to wait), so it is *not* fast — the paper's §3
+headline contrasts exactly this: asynchronous locks like the bakery pay
+``Ω(n)`` steps per entry even without contention, while Algorithm 3 pays
+``O(Δ)`` time when the timing constraints are met.
+
+Tickets grow without bound (the original algorithm); the bounded variant
+is :mod:`repro.algorithms.black_white_bakery`.
+
+.. code-block:: none
+
+    entry(i):  choosing[i] := true
+               number[i] := 1 + max(number[0..n-1])
+               choosing[i] := false
+               for j != i:
+                   await choosing[j] = false
+                   await number[j] = 0 or (number[j], j) >= (number[i], i)
+    exit(i):   number[i] := 0
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+
+__all__ = ["BakeryLock"]
+
+
+class BakeryLock(MutexAlgorithm):
+    """Lamport's bakery lock for ``n`` processes (pids ``0..n-1``)."""
+
+    name = "bakery"
+
+    def __init__(self, n: int, namespace: Optional[RegisterNamespace] = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        ns = namespace if namespace is not None else RegisterNamespace.unique("bakery")
+        self.choosing = ns.array("choosing", False)
+        self.number = ns.array("number", 0)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=True,
+            fast=False,
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return 2 * n  # choosing[0..n-1], number[0..n-1]
+
+    def entry(self, pid: int) -> Program:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        yield self.choosing[pid].write(True)
+        highest = 0
+        for j in range(self.n):
+            ticket = yield self.number[j].read()
+            if ticket > highest:
+                highest = ticket
+        my_ticket = highest + 1
+        yield self.number[pid].write(my_ticket)
+        yield self.choosing[pid].write(False)
+        for j in range(self.n):
+            if j == pid:
+                continue
+            while True:
+                is_choosing = yield self.choosing[j].read()
+                if not is_choosing:
+                    break
+            while True:
+                ticket = yield self.number[j].read()
+                if ticket == 0 or (ticket, j) >= (my_ticket, pid):
+                    break
+        return
+
+    def exit(self, pid: int) -> Program:
+        yield self.number[pid].write(0)
+
+    def __repr__(self) -> str:
+        return f"BakeryLock(n={self.n})"

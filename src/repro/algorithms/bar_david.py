@@ -1,0 +1,138 @@
+"""A starvation-freedom transformation for deadlock-free locks.
+
+The paper obtains its "simple and elegant fast starvation-free" embedded
+algorithm ``A`` by applying a transformation due to Yoah Bar-David
+(described in Taubenfeld's textbook, Problem 2.34) to Lamport's fast lock:
+any deadlock-free lock becomes starvation-free by wrapping it in a
+fairness gate.  This module implements that construction.
+
+Our rendition uses three ingredients around an arbitrary deadlock-free
+inner lock:
+
+* ``interested[i]`` — process ``i`` is competing;
+* ``turn`` — the process whose claim the gate currently honors: while
+  ``interested[turn]`` holds, only ``turn`` (and processes already past
+  the gate) may proceed into the inner lock;
+* ``cont`` — a contention hint: gate waiters keep setting it, and an
+  exiting process performs the ``O(n)`` turn-handoff scan *only* when the
+  hint is set.  This keeps the uncontended exit constant-step, which is
+  what lets the composed Algorithm 3 retain its ``O(Δ)`` time complexity
+  (the scan only ever runs while the doorway has actually been breached by
+  timing failures, i.e. during the convergence period of Theorem 3.3).
+
+Why this is starvation-free (sketch, mirroring Theorem 3.3's reasoning):
+a waiter ``p`` keeps ``cont`` set, so every exit performs a handoff scan;
+scans advance ``turn`` cyclically through interested processes and never
+move it off a still-interested holder, so ``turn`` reaches ``p`` within
+``n`` handoffs and then sticks; the gate now blocks new entrants, the
+finitely many processes already inside drain by the inner lock's
+deadlock-freedom, and ``p`` — eventually alone inside — enters.
+
+Why fast (when the inner lock is fast): the solo path costs three gate
+steps on entry (write ``interested``, read ``turn``, read
+``interested[turn]``) and two on exit (read ``cont``, clear
+``interested``) plus the inner lock's own constant solo path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+
+__all__ = ["BarDavidLock"]
+
+
+class BarDavidLock(MutexAlgorithm):
+    """Starvation-free wrapper around a deadlock-free inner lock.
+
+    Parameters
+    ----------
+    inner:
+        Any deadlock-free :class:`MutexAlgorithm` (typically
+        :class:`~repro.algorithms.lamport_fast.LamportFastLock`).  Its
+        registers must not collide with this wrapper's — pass distinct
+        namespaces.
+    n:
+        Number of processes (pids ``0..n-1``).
+    """
+
+    name = "bar_david"
+
+    def __init__(
+        self,
+        inner: MutexAlgorithm,
+        n: int,
+        namespace: Optional[RegisterNamespace] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not inner.properties.deadlock_free:
+            raise ValueError(
+                f"inner lock {inner.name!r} must be deadlock-free for the "
+                f"transformation to yield starvation-freedom"
+            )
+        self.inner = inner
+        self.n = n
+        ns = namespace if namespace is not None else RegisterNamespace.unique("bar_david")
+        self.interested = ns.array("interested", False)
+        self.turn = ns.register("turn", 0)
+        self.cont = ns.register("cont", False)
+        self.name = f"bar_david({inner.name})"
+
+    @property
+    def properties(self) -> MutexProperties:
+        inner_props = self.inner.properties
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=True,  # the point of the transformation
+            fast=inner_props.fast,
+            timing_based=inner_props.timing_based,
+            exclusion_resilient=inner_props.exclusion_resilient,
+        )
+
+    def register_count(self, n: int) -> Optional[int]:
+        inner_count = self.inner.register_count(n)
+        if inner_count is None:
+            return None
+        return inner_count + n + 2  # interested[0..n-1], turn, cont
+
+    def entry(self, pid: int) -> Program:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        yield self.interested[pid].write(True)
+        while True:
+            t = yield self.turn.read()
+            if t == pid:
+                break
+            holder_interested = yield self.interested[t].read()
+            if not holder_interested:
+                break  # stale turn: the gate is open
+            yield self.cont.write(True)  # keep the handoff machinery alive
+        yield from self.inner.entry(pid)
+
+    def exit(self, pid: int) -> Program:
+        contended = yield self.cont.read()
+        if contended:
+            t = yield self.turn.read()
+            holder_interested = False
+            if t != pid:
+                holder_interested = yield self.interested[t].read()
+            if not holder_interested:
+                # Hand the turn to the next interested process after t,
+                # cyclically, skipping ourselves (we are leaving).
+                for offset in range(1, self.n + 1):
+                    j = (t + offset) % self.n
+                    if j == pid:
+                        continue
+                    if (yield self.interested[j].read()):
+                        yield self.turn.write(j)
+                        break
+            yield self.cont.write(False)
+        yield self.interested[pid].write(False)
+        yield from self.inner.exit(pid)
+
+    def __repr__(self) -> str:
+        return f"BarDavidLock(inner={self.inner!r}, n={self.n})"

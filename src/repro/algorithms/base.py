@@ -1,0 +1,115 @@
+"""Common shape of mutual-exclusion algorithms and the session driver.
+
+Every lock in this package (and Algorithm 3 in :mod:`repro.core.mutex`)
+implements :class:`MutexAlgorithm`: an ``entry`` and an ``exit`` generator
+per process, over registers drawn from a
+:class:`~repro.sim.registers.RegisterNamespace` fixed at construction.
+Instances are *engines-agnostic*: the same object drives the simulator,
+the model checker and the thread runtime.
+
+:func:`mutex_session` wraps a lock into a complete long-lived program —
+the entry/CS/exit/remainder cycle with the trace labels the
+specification checkers key on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..sim import ops
+from ..sim.process import Program
+
+__all__ = ["MutexProperties", "MutexAlgorithm", "mutex_session", "DurationFn"]
+
+# A per-(pid, session) duration: constant or callable.
+DurationFn = Union[float, Callable[[int, int], float]]
+
+
+@dataclass(frozen=True)
+class MutexProperties:
+    """Static properties a lock claims; tests validate the claims.
+
+    ``fast`` is the paper's notion: in the absence of contention a process
+    enters its critical section after a constant number of its own steps.
+    ``timing_based`` locks rely on ``delay(Δ)`` and lose a property under
+    timing failures; asynchronous locks never consult the clock.
+    """
+
+    deadlock_free: bool = True
+    starvation_free: bool = False
+    fast: bool = False
+    timing_based: bool = False
+    exclusion_resilient: bool = True  # mutual exclusion holds even under
+    # timing failures (Fischer famously does not satisfy this)
+
+
+class MutexAlgorithm(ABC):
+    """An n-process mutual-exclusion algorithm over atomic registers."""
+
+    #: Human-readable algorithm name (used in experiment tables).
+    name: str = "mutex"
+
+    @abstractmethod
+    def entry(self, pid: int) -> Program:
+        """The entry code (trying protocol) of process ``pid``."""
+
+    @abstractmethod
+    def exit(self, pid: int) -> Program:
+        """The exit code of process ``pid``."""
+
+    @property
+    @abstractmethod
+    def properties(self) -> MutexProperties:
+        """The properties this algorithm claims to satisfy."""
+
+    def register_count(self, n: int) -> Optional[int]:
+        """Number of shared registers used with ``n`` processes.
+
+        ``None`` when unbounded (e.g. algorithms over infinite arrays);
+        experiment E9 compares these counts against the Theorem 3.1 lower
+        bound of ``n``.
+        """
+        return None
+
+
+def _resolve(duration: DurationFn, pid: int, session: int) -> float:
+    if callable(duration):
+        return float(duration(pid, session))
+    return float(duration)
+
+
+def mutex_session(
+    algorithm: MutexAlgorithm,
+    pid: int,
+    sessions: int,
+    cs_duration: DurationFn = 0.0,
+    ncs_duration: DurationFn = 0.0,
+    start_delay: float = 0.0,
+) -> Program:
+    """A complete long-lived program: ``sessions`` entry/CS/exit cycles.
+
+    Emits the ``ENTRY_START`` / ``CS_ENTER`` / ``CS_EXIT`` / ``EXIT_DONE``
+    labels that :mod:`repro.spec.mutex_spec` interprets.  ``cs_duration``
+    and ``ncs_duration`` model the critical section body and the remainder
+    section; both may be callables of ``(pid, session)``.
+    """
+    if sessions < 0:
+        raise ValueError(f"sessions must be >= 0, got {sessions}")
+    if start_delay > 0:
+        yield ops.local_work(start_delay)
+    for session in range(sessions):
+        yield ops.label(ops.ENTRY_START)
+        yield from algorithm.entry(pid)
+        yield ops.label(ops.CS_ENTER, session)
+        cs = _resolve(cs_duration, pid, session)
+        if cs > 0:
+            yield ops.local_work(cs)
+        yield ops.label(ops.CS_EXIT, session)
+        yield from algorithm.exit(pid)
+        yield ops.label(ops.EXIT_DONE, session)
+        ncs = _resolve(ncs_duration, pid, session)
+        if ncs > 0:
+            yield ops.local_work(ncs)
+    return sessions

@@ -1,0 +1,127 @@
+"""Taubenfeld's Black-White Bakery algorithm (DISC 2004).
+
+A bounded-space variant of Lamport's bakery, cited by the paper ([33]):
+tickets are taken *within a color* (black or white), and because at most
+``n`` processes ever hold the same color concurrently, ticket values never
+exceed ``n``.  The shared ``color`` bit flips on every exit, retiring the
+previous color's cohort.
+
+Properties: asynchronous, starvation-free (FIFO within a color cohort),
+bounded registers, not fast (entry scans all processes).  It serves as a
+second starvation-free candidate for Algorithm 3's embedded lock ``A`` and
+as an asynchronous baseline in experiment E7.
+
+.. code-block:: none
+
+    shared: color ∈ {black, white};
+            choosing[i]; number[i] ∈ {0..n}; mycolor[i]
+
+    entry(i): choosing[i] := true
+              mycolor[i] := color
+              number[i] := 1 + max{number[j] : mycolor[j] = mycolor[i]}
+              choosing[i] := false
+              for j != i:
+                  await choosing[j] = false
+                  if mycolor[j] = mycolor[i]:
+                      await number[j] = 0 or (number[j], j) >= (number[i], i)
+                            or mycolor[j] != mycolor[i]
+                  else:
+                      await number[j] = 0 or mycolor[i] != color
+                            or mycolor[j] = mycolor[i]
+    exit(i):  color := opposite of mycolor[i]
+              number[i] := 0
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+
+__all__ = ["BlackWhiteBakeryLock", "BLACK", "WHITE"]
+
+BLACK = 0
+WHITE = 1
+
+
+class BlackWhiteBakeryLock(MutexAlgorithm):
+    """The Black-White Bakery lock for ``n`` processes (pids ``0..n-1``)."""
+
+    name = "black_white_bakery"
+
+    def __init__(self, n: int, namespace: Optional[RegisterNamespace] = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        ns = namespace if namespace is not None else RegisterNamespace.unique("bw_bakery")
+        self.color = ns.register("color", BLACK)
+        self.choosing = ns.array("choosing", False)
+        self.number = ns.array("number", 0)
+        self.mycolor = ns.array("mycolor", BLACK)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=True,
+            fast=False,
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return 3 * n + 1  # choosing, number, mycolor per process + color
+
+    def entry(self, pid: int) -> Program:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        yield self.choosing[pid].write(True)
+        my_color = yield self.color.read()
+        yield self.mycolor[pid].write(my_color)
+        highest = 0
+        for j in range(self.n):
+            j_color = yield self.mycolor[j].read()
+            if j_color != my_color:
+                continue
+            ticket = yield self.number[j].read()
+            if ticket > highest:
+                highest = ticket
+        my_ticket = highest + 1
+        yield self.number[pid].write(my_ticket)
+        yield self.choosing[pid].write(False)
+        for j in range(self.n):
+            if j == pid:
+                continue
+            while True:
+                is_choosing = yield self.choosing[j].read()
+                if not is_choosing:
+                    break
+            while True:
+                ticket = yield self.number[j].read()
+                if ticket == 0:
+                    break
+                j_color = yield self.mycolor[j].read()
+                if j_color == my_color:
+                    # Same cohort: bakery order within the color.
+                    if (ticket, j) >= (my_ticket, pid):
+                        break
+                else:
+                    # Different cohort: they go first unless the global
+                    # color already moved past my cohort.
+                    current = yield self.color.read()
+                    if my_color != current:
+                        break
+            # Note: both await conditions also release when the *other*
+            # process's situation changes (its ticket returning to 0 or its
+            # color flipping), which the re-reads above observe.
+        return
+
+    def exit(self, pid: int) -> Program:
+        my_color = yield self.mycolor[pid].read()
+        yield self.color.write(WHITE if my_color == BLACK else BLACK)
+        yield self.number[pid].write(0)
+
+    def __repr__(self) -> str:
+        return f"BlackWhiteBakeryLock(n={self.n})"

@@ -1,0 +1,103 @@
+"""Algorithm 2 — Fischer's timing-based mutual exclusion.
+
+The first and simplest timing-based lock (Fischer, described in Lamport's
+"A fast mutual exclusion algorithm"), reproduced verbatim from the paper:
+
+.. code-block:: none
+
+    shared x: atomic register, initially 0
+    1  repeat   await (x = 0)
+    2           x := i
+    3           delay(Δ)
+    4  until    x = i
+    5  critical section
+    6  x := 0
+
+In the absence of timing failures the ``delay(Δ)`` guarantees that every
+process that read ``x = 0`` has finished its subsequent write before the
+delay expires, so whoever still sees its own id owns the lock.  Under a
+timing failure — a write to ``x`` taking longer than ``Δ`` — two processes
+can both pass the ``until`` test: mutual exclusion is **lost**.  That is
+the motivating failure of the paper (experiment E13 reproduces it with a
+targeted adversary and with the model checker).
+
+The lock is *fast* (contention-free entry: read, write, delay, read) and
+deadlock-free, but not starvation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import ops
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+
+__all__ = ["FischerLock", "FREE"]
+
+#: The "unowned" value of the lock register (the paper's 0; we use a
+#: dedicated sentinel so process ids may start at 0).
+FREE: Optional[int] = None
+
+
+class FischerLock(MutexAlgorithm):
+    """Fischer's timing-based lock.
+
+    Parameters
+    ----------
+    delta:
+        The delay bound used in line 3.  Pass the system's true ``Δ`` for
+    the classical guarantee, or an ``optimistic(Δ)`` estimate — safety
+        of the *composed* Algorithm 3 never depends on this value, only
+        Fischer's own mutual exclusion does.
+    namespace:
+        Register namespace; defaults to a private one.
+    """
+
+    name = "fischer"
+
+    def __init__(
+        self, delta: float, namespace: Optional[RegisterNamespace] = None
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        ns = namespace if namespace is not None else RegisterNamespace.unique("fischer")
+        self.x = ns.register("x", FREE)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=False,
+            fast=True,
+            timing_based=True,
+            exclusion_resilient=False,  # the famous weakness
+        )
+
+    def register_count(self, n: int) -> int:
+        return 1
+
+    def entry(self, pid: int) -> Program:
+        while True:
+            # line 1: await (x = FREE)
+            while True:
+                value = yield self.x.read()
+                if value == FREE:
+                    break
+            # line 2
+            yield self.x.write(pid)
+            # line 3
+            yield ops.delay(self.delta)
+            # line 4
+            value = yield self.x.read()
+            if value == pid:
+                return
+
+    def exit(self, pid: int) -> Program:
+        # line 6
+        yield self.x.write(FREE)
+
+    def __repr__(self) -> str:
+        return f"FischerLock(delta={self.delta})"

@@ -1,0 +1,106 @@
+"""Lamport's fast mutual exclusion algorithm (TOCS 1987).
+
+The first *fast* lock from atomic registers: in the absence of contention
+a process enters its critical section in a constant number of its own
+steps (two writes and three reads on the solo path).  The algorithm is
+deadlock-free but **not** starvation-free — which is exactly why
+Theorem 3.2 uses it as the cautionary choice of embedded algorithm ``A``:
+Algorithm 3 built over it need not converge after timing failures.
+
+Pseudocode (ids 1..n in the original; we use the ``FREE`` sentinel so ids
+may start at 0):
+
+.. code-block:: none
+
+    start: b[i] := true; x := i
+           if y != 0 then b[i] := false; await y = 0; goto start
+           y := i
+           if x != i then
+               b[i] := false
+               for j in 1..n: await not b[j]
+               if y != i then await y = 0; goto start
+    critical section
+    exit:  y := 0; b[i] := false
+
+This is an asynchronous algorithm: it never consults the clock, so all of
+its properties are immune to timing failures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+from .fischer import FREE
+
+__all__ = ["LamportFastLock"]
+
+
+class LamportFastLock(MutexAlgorithm):
+    """Lamport's fast lock for ``n`` processes (pids ``0..n-1``)."""
+
+    name = "lamport_fast"
+
+    def __init__(self, n: int, namespace: Optional[RegisterNamespace] = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        ns = namespace if namespace is not None else RegisterNamespace.unique("lamport_fast")
+        self.x = ns.register("x", FREE)
+        self.y = ns.register("y", FREE)
+        self.b = ns.array("b", False)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=False,
+            fast=True,
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return n + 2  # b[0..n-1], x, y
+
+    def entry(self, pid: int) -> Program:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        while True:  # "goto start"
+            yield self.b[pid].write(True)
+            yield self.x.write(pid)
+            y_val = yield self.y.read()
+            if y_val != FREE:
+                yield self.b[pid].write(False)
+                while True:
+                    y_val = yield self.y.read()
+                    if y_val == FREE:
+                        break
+                continue  # goto start
+            yield self.y.write(pid)
+            x_val = yield self.x.read()
+            if x_val != pid:
+                # Contention: wait for every announced process to settle.
+                yield self.b[pid].write(False)
+                for j in range(self.n):
+                    while True:
+                        b_val = yield self.b[j].read()
+                        if not b_val:
+                            break
+                y_val = yield self.y.read()
+                if y_val != pid:
+                    while True:
+                        y_val = yield self.y.read()
+                        if y_val == FREE:
+                            break
+                    continue  # goto start
+            return  # enter critical section
+
+    def exit(self, pid: int) -> Program:
+        yield self.y.write(FREE)
+        yield self.b[pid].write(False)
+
+    def __repr__(self) -> str:
+        return f"LamportFastLock(n={self.n})"

@@ -1,0 +1,143 @@
+"""Peterson's algorithms: the 2-process lock and the n-process filter lock.
+
+The 2-process lock is the building block of the tournament tree
+(:mod:`repro.algorithms.tournament`); the filter lock is an n-process
+generalization used as an additional asynchronous baseline.  Both are
+deadlock-free and the 2-process lock has bypass bound 1 (starvation-free);
+the filter lock is deadlock-free but only livelock-free per level — its
+overall fairness is weaker than the bakery's, which the fairness tests
+exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import Program
+from ..sim.registers import Register, RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+
+__all__ = ["PetersonTwoProcess", "FilterLock", "peterson_acquire", "peterson_release"]
+
+
+def peterson_acquire(
+    flag0: Register, flag1: Register, victim: Register, side: int
+) -> Program:
+    """Acquire one 2-process Peterson lock from ``side`` (0 or 1).
+
+    Shared helper so the tournament tree can reuse the exact protocol:
+    raise my flag, volunteer as victim, wait until the other side is
+    absent or has volunteered after me.
+    """
+    my_flag = flag0 if side == 0 else flag1
+    other_flag = flag1 if side == 0 else flag0
+    yield my_flag.write(True)
+    yield victim.write(side)
+    while True:
+        other = yield other_flag.read()
+        if not other:
+            return
+        v = yield victim.read()
+        if v != side:
+            return
+
+
+def peterson_release(flag0: Register, flag1: Register, side: int) -> Program:
+    """Release one 2-process Peterson lock held from ``side``."""
+    my_flag = flag0 if side == 0 else flag1
+    yield my_flag.write(False)
+
+
+class PetersonTwoProcess(MutexAlgorithm):
+    """Peterson's classic 2-process lock (pids 0 and 1)."""
+
+    name = "peterson2"
+
+    def __init__(self, namespace: Optional[RegisterNamespace] = None) -> None:
+        ns = namespace if namespace is not None else RegisterNamespace.unique("peterson2")
+        self.flag0 = ns.register("flag0", False)
+        self.flag1 = ns.register("flag1", False)
+        self.victim = ns.register("victim", 0)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=True,  # bypass bound 1
+            fast=True,  # constant entry always (n is fixed at 2)
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return 3
+
+    def entry(self, pid: int) -> Program:
+        if pid not in (0, 1):
+            raise ValueError(f"Peterson 2-process lock needs pid in {{0,1}}, got {pid}")
+        yield from peterson_acquire(self.flag0, self.flag1, self.victim, pid)
+
+    def exit(self, pid: int) -> Program:
+        yield from peterson_release(self.flag0, self.flag1, pid)
+
+    def __repr__(self) -> str:
+        return "PetersonTwoProcess()"
+
+
+class FilterLock(MutexAlgorithm):
+    """Peterson's filter lock for ``n`` processes.
+
+    ``n - 1`` levels; at each level a process volunteers as the level's
+    victim and waits until no higher-or-equal-level conflict remains.
+    """
+
+    name = "filter"
+
+    def __init__(self, n: int, namespace: Optional[RegisterNamespace] = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        ns = namespace if namespace is not None else RegisterNamespace.unique("filter")
+        self.level = ns.array("level", 0)
+        self.victim = ns.array("victim", -1)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=False,
+            fast=False,
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return 2 * n - 1  # level[0..n-1] + victim[1..n-1]
+
+    def entry(self, pid: int) -> Program:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        for lvl in range(1, self.n):
+            yield self.level[pid].write(lvl)
+            yield self.victim[lvl].write(pid)
+            while True:
+                v = yield self.victim[lvl].read()
+                if v != pid:
+                    break
+                conflict = False
+                for k in range(self.n):
+                    if k == pid:
+                        continue
+                    k_level = yield self.level[k].read()
+                    if k_level >= lvl:
+                        conflict = True
+                        break
+                if not conflict:
+                    break
+        return
+
+    def exit(self, pid: int) -> Program:
+        yield self.level[pid].write(0)
+
+    def __repr__(self) -> str:
+        return f"FilterLock(n={self.n})"

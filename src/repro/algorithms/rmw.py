@@ -1,0 +1,154 @@
+"""Algorithms over stronger primitives (paper §4: "to use synchronization
+primitives other than atomic registers").
+
+The paper notes that with read-modify-write primitives, "simple fast
+starvation-free mutual exclusion algorithms" exist directly.  This module
+provides the classic ones, both as baselines for the register-only
+constructions and as alternative embedded locks for Algorithm 3:
+
+* :class:`TicketLock` — fetch-and-add ticket dispenser: FIFO-fair
+  (starvation-free), *fast* (constant uncontended entry/exit), purely
+  asynchronous.  Exactly the "simple fast starvation-free algorithm with
+  stronger primitives" the paper alludes to — plugging it into Algorithm 3
+  yields a time-resilient lock with a one-line embedded A.
+* :class:`TestAndSetLock` — get-and-set spin lock with an optional
+  ``delay``-based backoff driven by an optimistic(Δ) estimate: the backoff
+  is a pure performance knob; exclusion never depends on it (a makeshift
+  demonstration of the paper's "safety must not rest on timing" design
+  rule applied to a primitive-based lock).
+* :class:`CasConsensus` — consensus by a single compare-and-swap: the
+  canonical infinite-consensus-number object, used as the ground-truth
+  comparator for Algorithm 1's derived objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import ops
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+
+__all__ = ["TicketLock", "TestAndSetLock", "CasConsensus"]
+
+_UNLOCKED = 0
+_LOCKED = 1
+_BOTTOM = None
+
+
+class TicketLock(MutexAlgorithm):
+    """Fetch-and-add ticket lock: FIFO, fast, asynchronous."""
+
+    name = "ticket"
+
+    def __init__(self, namespace: Optional[RegisterNamespace] = None) -> None:
+        ns = namespace if namespace is not None else RegisterNamespace.unique("ticket")
+        self.next_ticket = ns.register("next_ticket", 0)
+        self.now_serving = ns.register("now_serving", 0)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=True,  # strict FIFO by ticket order
+            fast=True,  # one FAA + one read uncontended
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return 2
+
+    def entry(self, pid: int) -> Program:
+        ticket = yield ops.fetch_and_add(self.next_ticket, 1)
+        while True:
+            serving = yield self.now_serving.read()
+            if serving == ticket:
+                return
+
+    def exit(self, pid: int) -> Program:
+        # Only the ticket holder runs the exit code, so a plain
+        # increment-by-write is atomic enough; we use FAA for symmetry and
+        # to stay correct even if exit sections ever overlap under bugs.
+        yield ops.fetch_and_add(self.now_serving, 1)
+
+    def __repr__(self) -> str:
+        return "TicketLock()"
+
+
+class TestAndSetLock(MutexAlgorithm):
+    """Get-and-set spin lock with an optional timing-based backoff.
+
+    ``backoff`` (an optimistic(Δ) estimate) spaces out retries with the
+    explicit ``delay`` statement: under a correct estimate contention on
+    the lock word drops; under a wrong one the lock merely spins more.
+    Mutual exclusion is independent of timing either way.
+    """
+
+    name = "tas_lock"
+    __test__ = False  # pytest: a library class, not a test case
+
+    def __init__(
+        self,
+        backoff: float = 0.0,
+        namespace: Optional[RegisterNamespace] = None,
+    ) -> None:
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        ns = namespace if namespace is not None else RegisterNamespace.unique("tas_lock")
+        self.word = ns.register("word", _UNLOCKED)
+        self.backoff = float(backoff)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=False,  # an unlucky spinner can lose forever
+            fast=True,
+            timing_based=self.backoff > 0,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        return 1
+
+    def entry(self, pid: int) -> Program:
+        while True:
+            old = yield ops.get_and_set(self.word, _LOCKED)
+            if old == _UNLOCKED:
+                return
+            if self.backoff > 0:
+                yield ops.delay(self.backoff)
+
+    def exit(self, pid: int) -> Program:
+        yield self.word.write(_UNLOCKED)
+
+    def __repr__(self) -> str:
+        return f"TestAndSetLock(backoff={self.backoff})"
+
+
+class CasConsensus:
+    """Wait-free consensus by a single compare-and-swap.
+
+    The comparator for Algorithm 1: with a CAS object, consensus costs one
+    shared step and needs no timing assumption at all; the paper's point
+    is achieving (timing-resilient) consensus *without* such primitives.
+    """
+
+    name = "cas_consensus"
+
+    def __init__(self, namespace: Optional[RegisterNamespace] = None) -> None:
+        ns = namespace if namespace is not None else RegisterNamespace.unique("cas_consensus")
+        self.cell = ns.register("cell", _BOTTOM)
+
+    def propose(self, pid: int, value: Any) -> Program:
+        if value is _BOTTOM:
+            raise ValueError("proposal must not be None (None encodes ⊥)")
+        yield ops.compare_and_swap(self.cell, _BOTTOM, value)
+        decided = yield self.cell.read()
+        yield ops.label(ops.DECIDED, decided)
+        return decided
+
+    def __repr__(self) -> str:
+        return "CasConsensus()"

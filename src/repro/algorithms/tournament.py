@@ -1,0 +1,86 @@
+"""Tournament-tree mutual exclusion (Peterson–Fischer style).
+
+A complete binary tree of 2-process Peterson locks: process ``pid`` starts
+at its leaf and acquires every lock on the path to the root; holding the
+root means holding the lock.  Release walks the path in reverse.
+
+Each Peterson node has bypass bound 1, so the tree is starvation-free with
+bypass bounded by ``O(n)``; entry costs ``Θ(log n)`` steps even without
+contention, so the lock is *not* fast — a useful middle point between the
+bakery (``Θ(n)``) and the fast locks in experiment E7's comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from .base import MutexAlgorithm, MutexProperties
+from .peterson import peterson_acquire, peterson_release
+
+__all__ = ["TournamentLock"]
+
+
+def _levels_for(n: int) -> int:
+    levels = 0
+    while (1 << levels) < n:
+        levels += 1
+    return levels
+
+
+class TournamentLock(MutexAlgorithm):
+    """A tournament tree of Peterson locks for ``n`` processes."""
+
+    name = "tournament"
+
+    def __init__(self, n: int, namespace: Optional[RegisterNamespace] = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.levels = _levels_for(max(n, 2))
+        ns = namespace if namespace is not None else RegisterNamespace.unique("tournament")
+        # Heap-numbered internal nodes 1..2^levels - 1; three registers each.
+        self.flag0 = ns.array("flag0", False)
+        self.flag1 = ns.array("flag1", False)
+        self.victim = ns.array("victim", 0)
+
+    @property
+    def properties(self) -> MutexProperties:
+        return MutexProperties(
+            deadlock_free=True,
+            starvation_free=True,
+            fast=False,  # Θ(log n) entry even solo
+            timing_based=False,
+            exclusion_resilient=True,
+        )
+
+    def register_count(self, n: int) -> int:
+        internal_nodes = (1 << _levels_for(max(n, 2))) - 1
+        return 3 * internal_nodes
+
+    def _path(self, pid: int) -> List[Tuple[int, int]]:
+        """The (node, side) pairs from leaf to root for ``pid``."""
+        node = pid + (1 << self.levels)  # leaf position in heap numbering
+        path: List[Tuple[int, int]] = []
+        while node > 1:
+            side = node & 1
+            node >>= 1
+            path.append((node, side))
+        return path
+
+    def entry(self, pid: int) -> Program:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        for node, side in self._path(pid):
+            yield from peterson_acquire(
+                self.flag0[node], self.flag1[node], self.victim[node], side
+            )
+        return
+
+    def exit(self, pid: int) -> Program:
+        for node, side in reversed(self._path(pid)):
+            yield from peterson_release(self.flag0[node], self.flag1[node], side)
+
+    def __repr__(self) -> str:
+        return f"TournamentLock(n={self.n})"

@@ -1,0 +1,335 @@
+"""Ablations: remove one design choice at a time and measure what breaks.
+
+DESIGN.md calls out the load-bearing details of the paper's constructions;
+each ablation builds the variant without one of them and compares:
+
+* **A1 — Algorithm 1 without the delay statement** (``delay(0)``): safety
+  is untouched (delays never carry safety), and benign timing still
+  decides — but against the worst legal schedule the conflict never
+  resolves.  The delay is precisely what buys liveness from the timing
+  assumption.
+* **A2 — Algorithm 3 with an unconditional doorway reset** (``x := 0``
+  instead of ``if x = i then x := 0``): Theorem 3.3's drain argument
+  breaks — after a breach, *every* exiting process re-opens the doorway,
+  so the embedded lock keeps seeing fresh concurrency and the flood
+  persists far longer.
+* **A3 — Algorithm 3 without the doorway delay**: the doorway stops
+  serializing, every contender falls through to the embedded lock, and
+  the time-complexity metric inherits the embedded lock's scan costs —
+  the O(Δ) headline is gone (exclusion of course survives).
+* **A4 — Bar-David wrapper without the contention hint** (always scan on
+  exit): the uncontended exit becomes Θ(n), which is what would poison
+  Algorithm 3's O(Δ) handovers at scale.
+
+Run from the command line::
+
+    python -m repro.analysis.ablations
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from ..algorithms import BarDavidLock, LamportFastLock, mutex_session
+from ..algorithms.base import MutexAlgorithm
+from ..core.consensus import run_consensus
+from ..core.mutex import TimeResilientMutex
+from ..sim import (
+    ConstantTiming,
+    Engine,
+    HookTiming,
+    UniformTiming,
+    ops,
+)
+from ..sim.adversary import round_conflict_hook
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from ..spec import check_mutual_exclusion, time_complexity
+from .tables import ExperimentTable
+
+__all__ = [
+    "embedded_population",
+    "NoResetMutex",
+    "NoDelayMutex",
+    "AlwaysScanBarDavid",
+    "run_a1",
+    "run_a2",
+    "run_a3",
+    "run_a4",
+    "ALL_ABLATIONS",
+    "main",
+]
+
+DELTA = 1.0
+
+
+class NoResetMutex(TimeResilientMutex):
+    """Algorithm 3 with line 8 made unconditional (the A2 ablation)."""
+
+    def exit(self, pid: int) -> Program:
+        yield from self.inner.exit(pid)
+        yield self.x.write(None)  # unconditional: every exiter re-opens
+
+
+class NoDelayMutex(TimeResilientMutex):
+    """Algorithm 3 with the doorway delay removed (the A3 ablation)."""
+
+    def entry(self, pid: int) -> Program:
+        while True:
+            while True:
+                value = yield self.x.read()
+                if value is None:
+                    break
+            yield self.x.write(pid)
+            # no delay(Δ): the doorway no longer waits out rival writes
+            value = yield self.x.read()
+            if value == pid:
+                break
+        yield from self.inner.entry(pid)
+
+
+class AlwaysScanBarDavid(BarDavidLock):
+    """Bar-David wrapper without the contention hint (the A4 ablation)."""
+
+    def exit(self, pid: int) -> Program:
+        t = yield self.turn.read()
+        holder_interested = False
+        if t != pid:
+            holder_interested = yield self.interested[t].read()
+        if not holder_interested:
+            for offset in range(1, self.n + 1):
+                j = (t + offset) % self.n
+                if j == pid:
+                    continue
+                if (yield self.interested[j].read()):
+                    yield self.turn.write(j)
+                    break
+        yield self.interested[pid].write(False)
+        yield from self.inner.exit(pid)
+
+
+# ---------------------------------------------------------------------------
+
+def run_a1(cap: float = 150.0) -> ExperimentTable:
+    """Algorithm 1 with and without its delay statement."""
+    table = ExperimentTable(
+        "A1",
+        "Ablating Algorithm 1's delay(Δ) statement",
+        ["variant", "benign timing", "worst legal schedule", "always safe"],
+    )
+
+    def outcome(algorithm_delta: float, adversarial: bool) -> str:
+        timing = (
+            HookTiming(ConstantTiming(0.01), round_conflict_hook(DELTA))
+            if adversarial
+            else ConstantTiming(0.8)
+        )
+        result = run_consensus(
+            [0, 1], delta=DELTA, timing=timing,
+            algorithm_delta=algorithm_delta, max_time=cap,
+        )
+        assert result.verdict.safe
+        if result.verdict.terminated:
+            return f"decided @{result.max_decision_time_in_deltas:.1f}Δ"
+        return "undecided (capped)"
+
+    # `delay(0)` is the no-delay ablation (a zero-length delay statement).
+    table.add_row("paper (delay Δ)", outcome(DELTA, False), outcome(DELTA, True), True)
+    table.add_row("ablated (no delay)", outcome(1e-9, False), outcome(1e-9, True), True)
+    table.notes.append(
+        "the delay is pure liveness: removing it never endangers safety, "
+        "but hands the worst-case scheduler a livelock"
+    )
+    return table
+
+
+def embedded_population(trace, since: float = 0.0) -> int:
+    """Worst number of processes simultaneously inside the embedded lock A.
+
+    A process enters A at its first ``interested := True`` gate write of
+    the session and leaves at its ``CS_EXIT``.  This is the quantity
+    Theorem 3.3's proof controls ("eventually at most one process will
+    execute the entry code of A").
+    """
+    from ..sim.adversary import register_leaf
+
+    intervals = []
+    for pid in trace.pids():
+        in_session = False
+        a_start = None
+        for e in trace.for_pid(pid):
+            if e.kind == "label" and e.label == ops.ENTRY_START:
+                in_session, a_start = True, None
+            elif (in_session and a_start is None and e.kind == "write"
+                  and register_leaf(e.register) == "interested"
+                  and e.value is True):
+                a_start = e.completed
+            elif e.kind == "label" and e.label == ops.CS_EXIT and a_start is not None:
+                intervals.append((a_start, e.completed))
+                in_session, a_start = False, None
+    # Max depth by sweeping the endpoints.
+    edges = []
+    for start, end in intervals:
+        if end > since:
+            edges.append((max(start, since), +1))
+            edges.append((end, -1))
+    edges.sort()
+    depth = worst = 0
+    for _, delta_edge in edges:
+        depth += delta_edge
+        worst = max(worst, depth)
+    return worst
+
+
+def run_a2(n: int = 6, max_time: float = 400.0) -> ExperimentTable:
+    """Conditional vs unconditional doorway reset after a breach.
+
+    Six processes are flooded into A by targeted doorway stalls, then
+    demand stays saturated (no remainder section, CS longer than a doorway
+    cycle).  Theorem 3.3's proof needs "at most one of the flooded
+    processes re-opens the doorway"; the unconditional variant re-opens on
+    *every* exit, so one fresh process is admitted per exit and A never
+    drains back to solo operation.
+    """
+    table = ExperimentTable(
+        "A2",
+        "Ablating Algorithm 3's conditional reset (line 8)",
+        ["variant", "exclusion held", "A population (steady state)",
+         "drained to solo"],
+    )
+    for name, cls in (("paper (conditional)", TimeResilientMutex),
+                      ("ablated (unconditional)", NoResetMutex)):
+        reg_ns = RegisterNamespace(("a2", name))
+        inner = BarDavidLock(LamportFastLock(n, namespace=reg_ns.child("lf")),
+                             n, namespace=reg_ns.child("gate"))
+        lock = cls(inner, delta=DELTA, namespace=reg_ns.child("door"))
+        from ..sim import compose_hooks, stall_write_to
+
+        hooks = [
+            stall_write_to(lock.x.name, duration=3.0 + 0.01 * p, pids=[p], count=1)
+            for p in range(1, n)
+        ]
+        engine = Engine(delta=DELTA,
+                        timing=HookTiming(ConstantTiming(0.1), compose_hooks(*hooks)),
+                        max_time=max_time)
+        for pid in range(n):
+            engine.spawn(
+                mutex_session(lock, pid, 10_000, cs_duration=2.0,
+                              ncs_duration=0.0),
+                pid=pid,
+            )
+        res = engine.run()
+        tail = embedded_population(res.trace, since=res.trace.end_time * 0.7)
+        table.add_row(
+            name,
+            check_mutual_exclusion(res.trace) == [],
+            tail,
+            tail <= 1,
+        )
+    table.notes.append(
+        "with the conditional reset the flood drains and A runs solo "
+        "(Theorem 3.3's invariant); unconditional resets re-admit one "
+        "process per exit and keep A contended forever"
+    )
+    return table
+
+
+def run_a3(n: int = 6, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentTable:
+    """The doorway delay is what makes the doorway a (timing-based) mutex."""
+    table = ExperimentTable(
+        "A3",
+        "Ablating the doorway delay(Δ) of Algorithm 3 (failure-free jitter)",
+        ["variant", "worst A population", "exclusion", "timing failures"],
+    )
+    for name, cls in (("paper (with delay)", TimeResilientMutex),
+                      ("ablated (no delay)", NoDelayMutex)):
+        worst_pop = 0
+        safe = True
+        failures = 0
+        for seed in seeds:
+            reg_ns = RegisterNamespace(("a3", name, seed))
+            inner = BarDavidLock(
+                LamportFastLock(n, namespace=reg_ns.child("lf")), n,
+                namespace=reg_ns.child("gate"),
+            )
+            lock = cls(inner, delta=DELTA, namespace=reg_ns.child("door"))
+            engine = Engine(delta=DELTA,
+                            timing=UniformTiming(0.05, DELTA, seed=seed),
+                            max_time=400.0)
+            for pid in range(n):
+                engine.spawn(
+                    mutex_session(lock, pid, 15, cs_duration=0.3,
+                                  ncs_duration=0.2),
+                    pid=pid,
+                )
+            res = engine.run()
+            worst_pop = max(worst_pop, embedded_population(res.trace))
+            safe = safe and not check_mutual_exclusion(res.trace)
+            failures += len(res.trace.timing_failures())
+        table.add_row(name, worst_pop, safe, failures)
+    table.notes.append(
+        "all steps within Δ (zero timing failures): with the delay the "
+        "doorway admits one process at a time; without it, ordinary jitter "
+        "floods A — critical-section safety survives only because A is an "
+        "asynchronous lock, and the O(Δ) handover structure is lost"
+    )
+    return table
+
+
+def run_a4(ns_sweep: Sequence[int] = (4, 16, 64)) -> ExperimentTable:
+    """The contention hint keeps Bar-David's uncontended exit O(1)."""
+    table = ExperimentTable(
+        "A4",
+        "Ablating the Bar-David contention hint (solo exit steps)",
+        ["variant"] + [f"n={n}" for n in ns_sweep],
+    )
+
+    def solo_exit_steps(lock_factory, n):
+        reg_ns = RegisterNamespace(("a4", str(lock_factory), n))
+        lock = lock_factory(n, reg_ns)
+        engine = Engine(delta=DELTA, timing=ConstantTiming(0.4))
+        engine.spawn(mutex_session(lock, 0, 1), pid=0)
+        res = engine.run()
+        (span,) = res.trace.exit_spans(0)
+        return len([
+            e for e in res.trace.for_pid(0)
+            if e.is_shared and span[1] < e.completed <= span[2]
+        ])
+
+    def paper(n, reg_ns):
+        return BarDavidLock(LamportFastLock(n, namespace=reg_ns.child("lf")),
+                            n, namespace=reg_ns.child("gate"))
+
+    def ablated(n, reg_ns):
+        return AlwaysScanBarDavid(
+            LamportFastLock(n, namespace=reg_ns.child("lf")), n,
+            namespace=reg_ns.child("gate"),
+        )
+
+    table.add_row("paper (hinted)", *[solo_exit_steps(paper, n) for n in ns_sweep])
+    table.add_row("ablated (always scan)",
+                  *[solo_exit_steps(ablated, n) for n in ns_sweep])
+    table.notes.append(
+        "the hinted exit is constant; the scanning exit grows linearly — "
+        "and it sits on Algorithm 3's handover path"
+    )
+    return table
+
+
+ALL_ABLATIONS = {"A1": run_a1, "A2": run_a2, "A3": run_a3, "A4": run_a4}
+
+
+def main(argv: Sequence[str]) -> int:
+    chosen = argv or sorted(ALL_ABLATIONS)
+    for ablation_id in chosen:
+        runner = ALL_ABLATIONS.get(ablation_id.upper())
+        if runner is None:
+            raise SystemExit(f"unknown ablation {ablation_id!r}")
+        print(runner().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,176 @@
+"""Experiment tables for the §4 extensions (beyond the paper's claims).
+
+* **X1** — the self-tuning Algorithm 3 (:mod:`repro.core.adaptive`):
+  starting from a 100x underestimate of Δ, the shared estimate grows on
+  sensed doorway breaches until the doorway serializes again.
+* **X2** — Ω leader election over messages (:mod:`repro.mp`): leadership
+  churns during a stall window, and the adaptive timeout restores — and
+  keeps — agreement on the rightful leader.
+* **X3** — RMR accounting (local-spinning, after ref [25]): remote
+  references per critical-section entry across the lock zoo.
+
+Run with::
+
+    python -m repro.analysis.extensions
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from ..algorithms import BakeryLock, FischerLock, TicketLock, mutex_session
+from ..core.adaptive import default_adaptive_mutex
+from ..core.mutex import default_time_resilient_mutex
+from ..mp import OmegaElection, eventual_agreement
+from ..sim import (
+    ConstantTiming,
+    Engine,
+    FailureWindowTiming,
+    UniformTiming,
+    failure_window,
+)
+from ..sim.registers import RegisterNamespace
+from ..spec import check_mutual_exclusion
+from .ablations import embedded_population
+from .metrics import rmr_per_cs_entry
+from .tables import ExperimentTable
+
+__all__ = ["run_x1", "run_x2", "run_x3", "ALL_EXTENSIONS", "main"]
+
+DELTA = 1.0
+
+
+def run_x1(n: int = 4, sessions: int = 20, seed: int = 5) -> ExperimentTable:
+    table = ExperimentTable(
+        "X1",
+        "Self-tuning Algorithm 3: estimate arc from a 100x underestimate",
+        ["initial est/Δ", "final est/Δ", "A population (early)",
+         "A population (tail)", "exclusion held"],
+    )
+    for initial in (0.01, 1.0):
+        lock = default_adaptive_mutex(
+            n, initial_estimate=initial * DELTA,
+            namespace=RegisterNamespace(("x1", initial)),
+        )
+        engine = Engine(delta=DELTA, timing=UniformTiming(0.05, DELTA, seed=seed),
+                        max_time=10_000.0)
+        for pid in range(n):
+            engine.spawn(
+                mutex_session(lock, pid, sessions, cs_duration=0.2,
+                              ncs_duration=0.2),
+                pid=pid,
+            )
+        res = engine.run()
+        early = embedded_population(res.trace)
+        tail = embedded_population(res.trace, since=res.trace.end_time * 0.7)
+        table.add_row(
+            initial,
+            res.memory.peek(lock.estimate) / DELTA,
+            early,
+            tail,
+            check_mutual_exclusion(res.trace) == [],
+        )
+    table.notes.append(
+        "the underestimate floods A early (population > 1); sensed breaches "
+        "grow the estimate just far enough that breaches stop and the "
+        "doorway serializes (tail = 1) — the tuner finds the smallest "
+        "sufficient estimate, not Δ itself; a correct initial estimate "
+        "never moves"
+    )
+    return table
+
+
+def run_x2(n: int = 4, rounds: int = 60) -> ExperimentTable:
+    table = ExperimentTable(
+        "X2",
+        "Ω election over messages: churn during a stall, convergence after",
+        ["scenario", "eventual leader", "leader-0 suspected meanwhile",
+         "false suspicions adapted"],
+    )
+    for name, windows in (
+        ("clean", []),
+        ("node-0 stalled 12 periods",
+         [failure_window(8.0, 20.0, pids=[0], stretch=100.0)]),
+    ):
+        omega = OmegaElection(n, heartbeat_period=1.0, initial_timeout=2.5,
+                              timeout_growth=2.0,
+                              namespace=RegisterNamespace(("x2", name)))
+        timing = ConstantTiming(0.05)
+        if windows:
+            timing = FailureWindowTiming(timing, windows)
+        engine = Engine(delta=DELTA, timing=timing, max_time=50_000.0)
+        for pid in range(n):
+            engine.spawn(omega.run(pid, rounds), pid=pid)
+        res = engine.run()
+        samples = dict(res.returns)
+        leader = eventual_agreement(samples, tail_fraction=0.2)
+        suspected_zero = any(
+            0 in s.suspected
+            for pid, all_samples in samples.items() if pid != 0
+            for s in all_samples
+        )
+        recovered = any(
+            s.leader == 0
+            for pid, all_samples in samples.items()
+            for s in all_samples[-3:]
+        )
+        table.add_row(name, leader, suspected_zero, recovered)
+    table.notes.append(
+        "Ω's contract is eventual agreement: temporary disagreement during "
+        "the stall is allowed; the adaptive timeout makes the recovery stick"
+    )
+    return table
+
+
+def run_x3(n: int = 8, sessions: int = 3) -> ExperimentTable:
+    table = ExperimentTable(
+        "X3",
+        f"Remote memory references per CS entry (cache-coherent model, n={n})",
+        ["lock", "RMR / entry", "notes"],
+    )
+    entries = [
+        ("alg3", default_time_resilient_mutex(n, delta=DELTA,
+                                              namespace=RegisterNamespace("x3a")),
+         "doorway + embedded fast lock"),
+        ("fischer", FischerLock(delta=DELTA, namespace=RegisterNamespace("x3f")),
+         "spin on one word (locally cached)"),
+        ("bakery", BakeryLock(n, namespace=RegisterNamespace("x3b")),
+         "Θ(n) doorway scan is remote"),
+        ("ticket", TicketLock(namespace=RegisterNamespace("x3t")),
+         "one FAA + local spin"),
+    ]
+    for name, lock, note in entries:
+        engine = Engine(delta=DELTA, timing=ConstantTiming(0.3),
+                        max_time=100_000.0)
+        for pid in range(n):
+            engine.spawn(
+                mutex_session(lock, pid, sessions, cs_duration=0.2,
+                              ncs_duration=0.2),
+                pid=pid,
+            )
+        res = engine.run()
+        table.add_row(name, rmr_per_cs_entry(res.trace), note)
+    table.notes.append(
+        "the paper's ref [25] counts only remote references and delays; "
+        "spin loops on cached words are free under this accounting"
+    )
+    return table
+
+
+ALL_EXTENSIONS = {"X1": run_x1, "X2": run_x2, "X3": run_x3}
+
+
+def main(argv: Sequence[str]) -> int:
+    chosen = argv or sorted(ALL_EXTENSIONS)
+    for ext_id in chosen:
+        runner = ALL_EXTENSIONS.get(ext_id.upper())
+        if runner is None:
+            raise SystemExit(f"unknown extension table {ext_id!r}")
+        print(runner().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,76 @@
+"""Small statistics helpers for experiment tables (no numpy required —
+the harness must run identically everywhere, and the sample sizes are
+tiny)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Summary", "summarize", "percentile", "geometric_mean", "speedup"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Summary(n={self.count}, mean={self.mean:.3f}, min={self.minimum:.3f}, "
+            f"med={self.median:.3f}, p95={self.p95:.3f}, max={self.maximum:.3f})"
+        )
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    values: List[float] = list(samples)
+    if not values:
+        raise ValueError("summarize of empty sample set")
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=min(values),
+        median=percentile(values, 50),
+        p95=percentile(values, 95),
+        maximum=max(values),
+    )
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("geometric mean of empty sample set")
+    if any(s <= 0 for s in samples):
+        raise ValueError("geometric mean requires positive samples")
+    return math.exp(sum(math.log(s) for s in samples) / len(samples))
+
+
+def speedup(baseline: float, candidate: float) -> Optional[float]:
+    """baseline / candidate (None when the candidate never finished)."""
+    if candidate <= 0 or math.isnan(candidate):
+        return None
+    return baseline / candidate

@@ -1,0 +1,131 @@
+"""A finite-register consensus under a bounded-failure assumption.
+
+The paper (§2.1) leaves open whether a time-resilient consensus can use
+finitely many registers, and notes: "such an algorithm exists when there
+is a known bound on the number of time units during which there are
+timing failures."  This module realizes that remark, making the required
+assumptions explicit:
+
+* ``failure_bound`` — all timing failures occur within the first
+  ``failure_bound`` time units of the execution (the transient-failure
+  model);
+* ``min_step`` — a *lower* bound on the duration of one shared-memory
+  step.  Without one, a process could start unboundedly many rounds while
+  failures rage, so no finite register bank can suffice; with one, at
+  most ``failure_bound / (5 · min_step)`` rounds can even begin during
+  the failure period (a round issues at least five steps before
+  advancing), and two further rounds decide once failures stop
+  (Theorem 2.1 item 2).
+
+``BoundedConsensus`` is Algorithm 1 over arrays of exactly
+``max_rounds = ceil(failure_bound / (5 · min_step)) + 2`` rounds — a
+*statically declared*, finite register bank (``2·max_rounds + max_rounds
++ 1`` registers).  If the environment honours the assumptions, the bound
+is never hit; the implementation verifies this at runtime and fails
+loudly (rather than silently wrapping) if the assumption was violated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..sim import ops
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+
+__all__ = ["BoundedConsensus", "RoundBudgetExceeded"]
+
+_BOTTOM = None
+
+# Shared steps a round must issue before a process can move past it
+# (loop check, x write, y read, x̄ read, post-delay y read).
+_STEPS_PER_ROUND = 5
+
+
+class RoundBudgetExceeded(RuntimeError):
+    """The bounded-failure assumption was violated at runtime."""
+
+
+class BoundedConsensus:
+    """Algorithm 1 over a finite, statically-sized register bank.
+
+    Parameters
+    ----------
+    delta:
+        The step-time upper bound (as in Algorithm 1).
+    failure_bound:
+        Timing failures only occur during the first ``failure_bound``
+        time units.
+    min_step:
+        The step-time *lower* bound the round budget rests on.
+    """
+
+    name = "bounded_consensus"
+
+    def __init__(
+        self,
+        delta: float,
+        failure_bound: float,
+        min_step: float,
+        namespace: Optional[RegisterNamespace] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        if failure_bound < 0:
+            raise ValueError(f"failure_bound must be >= 0, got {failure_bound}")
+        if min_step <= 0:
+            raise ValueError(f"min_step must be positive, got {min_step}")
+        self.delta = float(delta)
+        self.failure_bound = float(failure_bound)
+        self.min_step = float(min_step)
+        self.max_rounds = (
+            math.ceil(failure_bound / (_STEPS_PER_ROUND * min_step)) + 2
+        )
+        ns = namespace if namespace is not None else RegisterNamespace.unique("bounded")
+        self.x = ns.array("x", 0)
+        self.y = ns.array("y", _BOTTOM)
+        self.decide = ns.register("decide", _BOTTOM)
+
+    def register_count(self) -> int:
+        """The finite register bank's size: 3 per round + decide."""
+        return 3 * self.max_rounds + 1
+
+    def propose(self, pid: int, value: Any) -> Program:
+        if value not in (0, 1):
+            raise ValueError(
+                f"binary consensus: proposal must be 0 or 1, got {value!r}"
+            )
+        v = value
+        r = 1
+        while True:
+            decided = yield self.decide.read()
+            if decided is not _BOTTOM:
+                return decided
+            if r > self.max_rounds:
+                raise RoundBudgetExceeded(
+                    f"pid {pid} exhausted {self.max_rounds} rounds: the "
+                    f"bounded-failure assumption (failures end by "
+                    f"t={self.failure_bound}, steps >= {self.min_step}) "
+                    f"does not hold in this environment"
+                )
+            yield self.x[r, v].write(1)
+            y_val = yield self.y[r].read()
+            if y_val is _BOTTOM:
+                yield self.y[r].write(v)
+            other = yield self.x[r, 1 - v].read()
+            if other == 0:
+                yield self.decide.write(v)
+                continue
+            yield ops.delay(self.delta)
+            y_val = yield self.y[r].read()
+            if y_val is not _BOTTOM:
+                v = y_val
+            r += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedConsensus(delta={self.delta}, "
+            f"failure_bound={self.failure_bound}, min_step={self.min_step}, "
+            f"max_rounds={self.max_rounds})"
+        )

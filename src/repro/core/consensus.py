@@ -1,0 +1,288 @@
+"""Algorithm 1 — consensus in the presence of timing failures.
+
+The paper's first headline result: a consensus algorithm from atomic
+registers that is
+
+* **resilient to timing failures** — validity and agreement hold in every
+  execution, no matter how badly the timing assumption is violated, and
+  liveness resumes as soon as the timing constraints hold again;
+* **wait-free** — once timing failures stop, every nonfaulty process
+  decides regardless of how many others crashed;
+* **fast** — a process running without contention decides after 7 of its
+  own steps, with no delay statement, even during timing failures;
+* open to **unboundedly many participants** — nothing depends on ``n``.
+
+Reproduced verbatim from the paper (program for ``p_i`` with input
+``in_i``):
+
+.. code-block:: none
+
+    shared: x[1..∞, 0..1] bits, initially 0
+            y[1..∞] over {⊥, 0, 1}, initially ⊥
+            decide over {⊥, 0, 1}, initially ⊥
+    local:  r_i := 1; v_i := in_i
+
+    1  while decide = ⊥ do
+    2      x[r_i, v_i] := 1
+    3      if y[r_i] = ⊥ then y[r_i] := v_i fi
+    4      if x[r_i, ¬v_i] = 0 then decide := v_i
+    5      else delay(Δ)
+    6           v_i := y[r_i]
+    7           r_i := r_i + 1 fi
+    8  od
+    9  decide(decide)
+
+Round ``r`` intuition: a process flags its preference in ``x[r, v]``,
+publishes it in ``y[r]`` if it got there first, and decides if the
+conflicting flag is still clear.  Conflicting preferences survive a round
+only if a timing failure delayed someone's write to ``y[r]`` past another
+process's ``delay(Δ)``; otherwise everyone adopts the same ``y[r]`` and
+round ``r + 1`` decides (Theorem 2.1 item 2).
+
+The infinite arrays are dict-backed in our memory, so the implementation
+really does use the paper's unbounded register space (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from ..sim import ops
+from ..sim.engine import Engine, RunResult, RunStatus
+from ..sim.failures import CrashSchedule
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+from ..sim.scheduler import TieBreak
+from ..sim.timing import ConstantTiming, TimingModel
+from ..spec.consensus_spec import ConsensusVerdict, check_consensus
+
+__all__ = [
+    "UNDECIDED",
+    "TimeResilientConsensus",
+    "ConsensusResult",
+    "run_consensus",
+    "labeled_decision",
+]
+
+#: The paper's ``⊥``.
+UNDECIDED = None
+
+
+class TimeResilientConsensus:
+    """Algorithm 1, as a reusable object over a register namespace.
+
+    One instance is one single-shot consensus object; give each instance
+    its own namespace (or rely on the default-unique one) to run several.
+
+    Parameters
+    ----------
+    delta:
+        The bound used in the ``delay(Δ)`` statement.  Using the system's
+        true ``Δ`` gives the paper's guarantees; an ``optimistic(Δ)``
+        estimate below the true bound never endangers safety — it only
+        causes extra rounds while the estimate is exceeded (that is the
+        subject of experiment E10).
+    max_rounds:
+        Optional safety-net for runs under permanent timing failures,
+        where FLP says the loop may never exit.  A process reaching the
+        bound *parks*: it stops spinning through rounds and instead polls
+        ``decide`` (preserving safety; a parked process still decides when
+        anyone else succeeds).  ``None`` (the default) is the paper's
+        algorithm.
+    """
+
+    name = "time_resilient_consensus"
+
+    def __init__(
+        self,
+        delta: float,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        if max_rounds is not None and max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.delta = float(delta)
+        ns = namespace if namespace is not None else RegisterNamespace.unique("consensus")
+        self.x = ns.array("x", 0)  # x[r, v] bits
+        self.y = ns.array("y", UNDECIDED)  # y[r] in {⊥, 0, 1}
+        self.decide = ns.register("decide", UNDECIDED)
+        self.max_rounds = max_rounds
+
+    def propose(self, pid: int, value: Any) -> Program:
+        """The program of process ``pid`` proposing ``value``.
+
+        The generator's return value is the decision.  The program is
+        deliberately *pure* — it emits no ``DECIDED`` label — because
+        instances of Algorithm 1 nest inside larger constructions (the
+        multivalued tournament, the universal construction) whose inner
+        side-bit decisions must not pollute the trace's decision stream.
+        Top-level drivers wrap it with :func:`labeled_decision` (as
+        :func:`run_consensus` does) to record the decision in the trace.
+        """
+        if value is None:
+            raise ValueError("proposal value must not be None (None encodes ⊥)")
+        v = value
+        r = 1
+        while True:
+            # line 1: while decide = ⊥
+            decided = yield self.decide.read()
+            if decided is not UNDECIDED:
+                return decided
+            if self.max_rounds is not None and r > self.max_rounds:
+                # Parked: keep polling `decide` (stay live for adoption,
+                # never endanger safety). The poll consumes a step, so a
+                # parked process cannot livelock the simulator.
+                continue
+            # line 2: flag my preference
+            yield self.x[r, v].write(1)
+            # line 3: publish the round proposal if still empty
+            y_val = yield self.y[r].read()
+            if y_val is UNDECIDED:
+                yield self.y[r].write(v)
+            # line 4: check the conflicting flag
+            other = yield self.x[r, _opposite(v)].read()
+            if other == 0:
+                yield self.decide.write(v)
+                # Loop back: the re-read of `decide` at line 1 confirms the
+                # decision and terminates (this is the paper's 7-step solo
+                # path: read decide, write x, read y, write y, read x̄,
+                # write decide, read decide).
+                continue
+            # lines 5-7: conflict — wait out the round and adopt y[r]
+            yield ops.delay(self.delta)
+            y_val = yield self.y[r].read()
+            if y_val is not UNDECIDED:
+                v = y_val
+            r += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeResilientConsensus(delta={self.delta}, "
+            f"max_rounds={self.max_rounds})"
+        )
+
+
+def labeled_decision(program: Program) -> Program:
+    """Wrap a decision-returning program with a ``DECIDED`` trace label.
+
+    The label carries the decision and is emitted at the instant the
+    program returns, so the spec checkers can read per-process decision
+    values and times off the trace.
+    """
+    decision = yield from program
+    yield ops.label(ops.DECIDED, decision)
+    return decision
+
+
+def _opposite(v: Any) -> Any:
+    """The conflicting binary preference ``¬v``.
+
+    Algorithm 1 is specified for binary consensus; multivalued consensus
+    is obtained in the standard way (agree bit-by-bit, or use the derived
+    objects in :mod:`repro.core.derived`).
+    """
+    if v == 0:
+        return 1
+    if v == 1:
+        return 0
+    raise ValueError(f"Algorithm 1 is binary consensus; got proposal {v!r}")
+
+
+@dataclass
+class ConsensusResult:
+    """Packaged outcome of :func:`run_consensus`."""
+
+    run: RunResult
+    inputs: Dict[int, Any]
+    verdict: ConsensusVerdict
+    delta: float
+
+    @property
+    def decisions(self) -> Dict[int, Any]:
+        return self.verdict.decisions
+
+    @property
+    def agreed(self) -> bool:
+        return self.verdict.agreed
+
+    @property
+    def value(self) -> Any:
+        """The agreed value (when anyone decided)."""
+        for v in self.decisions.values():
+            return v
+        return None
+
+    def decision_time(self, pid: int) -> Optional[float]:
+        return self.run.trace.decision_time(pid)
+
+    @property
+    def max_decision_time(self) -> Optional[float]:
+        times = [
+            self.run.trace.decision_time(pid) for pid in self.decisions
+        ]
+        times = [t for t in times if t is not None]
+        return max(times) if times else None
+
+    @property
+    def max_decision_time_in_deltas(self) -> Optional[float]:
+        t = self.max_decision_time
+        return None if t is None else t / self.delta
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsensusResult(value={self.value!r}, agreed={self.agreed}, "
+            f"max_time={self.max_decision_time})"
+        )
+
+
+def run_consensus(
+    inputs: Sequence[Any],
+    delta: float,
+    timing: Optional[TimingModel] = None,
+    tie_break: Optional[TieBreak] = None,
+    crashes: Optional[CrashSchedule] = None,
+    max_time: float = math.inf,
+    max_total_steps: float = 1_000_000,
+    max_rounds: Optional[int] = None,
+    algorithm_delta: Optional[float] = None,
+    start_times: Optional[Sequence[float]] = None,
+) -> ConsensusResult:
+    """Run Algorithm 1 once in the simulator and check the spec.
+
+    ``inputs[i]`` is process ``i``'s proposal.  ``algorithm_delta`` lets
+    the algorithm use an (optimistic) estimate different from the system's
+    true ``delta``; by default they coincide.  ``start_times`` staggers
+    process arrivals (contention studies).
+    """
+    if timing is None:
+        timing = ConstantTiming(step=delta)
+    consensus = TimeResilientConsensus(
+        delta=algorithm_delta if algorithm_delta is not None else delta,
+        max_rounds=max_rounds,
+    )
+    engine = Engine(
+        delta=delta,
+        timing=timing,
+        tie_break=tie_break,
+        crashes=crashes,
+        max_time=max_time,
+        max_total_steps=max_total_steps,
+    )
+    input_map: Dict[int, Any] = {}
+    for pid, value in enumerate(inputs):
+        input_map[pid] = value
+        start = 0.0 if start_times is None else start_times[pid]
+        engine.spawn(
+            labeled_decision(consensus.propose(pid, value)),
+            pid=pid,
+            start_time=start,
+        )
+    run = engine.run()
+    verdict = check_consensus(
+        run, input_map, require_termination=(run.status is RunStatus.COMPLETED)
+    )
+    return ConsensusResult(run=run, inputs=input_map, verdict=verdict, delta=delta)

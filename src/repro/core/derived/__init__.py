@@ -1,0 +1,25 @@
+"""Wait-free objects derived from time-resilient consensus (paper §1.4).
+
+All of these inherit Algorithm 1's resilience: safety under arbitrary
+timing failures, liveness as soon as the timing constraints hold, any
+number of crash failures tolerated.
+"""
+
+from .election import LeaderElection
+from .long_lived import ConsensusService
+from .multivalued import MultivaluedConsensus
+from .renaming import Renaming
+from .set_consensus import SetConsensus
+from .test_and_set import TestAndSet
+from .universal import Universal, UniversalClient
+
+__all__ = [
+    "MultivaluedConsensus",
+    "LeaderElection",
+    "TestAndSet",
+    "Renaming",
+    "SetConsensus",
+    "Universal",
+    "UniversalClient",
+    "ConsensusService",
+]

@@ -1,0 +1,81 @@
+"""A long-lived, multi-instance consensus service.
+
+Consensus is one-shot; long-lived coordination (a replicated log, a
+sequence of configuration epochs) needs a fresh instance per decision.
+:class:`ConsensusService` manages a deterministic registry of
+time-resilient consensus instances keyed by an application-chosen
+instance id, so independent decisions never share registers.
+
+This is the shape the ``election_service`` example uses: one instance per
+leadership epoch, with the timing-failure resilience of each instance
+carrying over to the whole service (safety per epoch is unconditional;
+liveness per epoch resumes when the timing constraints hold).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from ...sim.process import Program
+from ...sim.registers import RegisterNamespace
+from ..consensus import TimeResilientConsensus
+from .multivalued import MultivaluedConsensus
+
+__all__ = ["ConsensusService"]
+
+
+class ConsensusService:
+    """A registry of per-instance consensus objects.
+
+    Parameters
+    ----------
+    delta:
+        Delay bound for every instance.
+    n:
+        When given, instances are *multivalued* (tournament over ``n``
+        pids); when ``None``, instances are binary Algorithm 1 objects
+        and support unboundedly many participants.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        n: Optional[int] = None,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        self.n = n
+        self._max_rounds = max_rounds
+        self._ns = namespace if namespace is not None else RegisterNamespace.unique("service")
+        self._instances: Dict[Hashable, Any] = {}
+
+    def instance(self, key: Hashable) -> Any:
+        """Get-or-create the consensus object for ``key``."""
+        obj = self._instances.get(key)
+        if obj is None:
+            ns = self._ns.child(("instance", key))
+            if self.n is None:
+                obj = TimeResilientConsensus(
+                    delta=self.delta, namespace=ns, max_rounds=self._max_rounds
+                )
+            else:
+                obj = MultivaluedConsensus(
+                    n=self.n,
+                    delta=self.delta,
+                    namespace=ns,
+                    max_rounds=self._max_rounds,
+                )
+            self._instances[key] = obj
+        return obj
+
+    def propose(self, key: Hashable, pid: int, value: Any) -> Program:
+        """Propose ``value`` in the instance for ``key``; returns decision."""
+        decision = yield from self.instance(key).propose(pid, value)
+        return decision
+
+    def __repr__(self) -> str:
+        kind = "binary" if self.n is None else f"multivalued(n={self.n})"
+        return f"ConsensusService({kind}, instances={len(self._instances)})"

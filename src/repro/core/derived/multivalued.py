@@ -1,0 +1,129 @@
+"""Multivalued consensus from binary time-resilient consensus.
+
+Algorithm 1 is binary.  The paper points out (§1.4, §2.1) that it is
+"easy to construct" the other classical objects from it; this module
+supplies the bridge: an ``n``-process *multivalued* consensus object that
+inherits Algorithm 1's resilience to timing failures.
+
+Construction — a tournament of binary instances:
+
+* each process owns a leaf of a complete binary tree over ``n`` slots and
+  *announces* its proposal in ``announce[pid]``;
+* climbing its leaf-to-root path, at every internal node it runs one
+  binary Algorithm 1 instance, proposing the (static) side its subtree
+  lies on;
+* after the climb it descends from the root following decided sides;
+  every node on the descent path is already decided (whoever decided a
+  node had decided the node's winning child first), so the descent is
+  wait-free and lands on a unique leaf — the *winner*;
+* the decision is ``announce[winner]``.
+
+Validity: each decided side contains a proposer (binary validity), so
+inductively the winning leaf belongs to a process that announced before
+proposing.  Agreement: decisions at nodes are unique, so every process
+descends the same path.  Wait-freedom and resilience to timing failures
+are inherited from Algorithm 1 node-by-node.
+
+Cost: ``O(log n)`` binary instances per operation — ``O(Δ·log n)`` time
+when the timing constraints hold.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...sim.process import Program
+from ...sim.registers import RegisterNamespace
+from ..consensus import TimeResilientConsensus
+
+__all__ = ["MultivaluedConsensus"]
+
+_NOT_ANNOUNCED = None
+
+
+class MultivaluedConsensus:
+    """n-process multivalued consensus, resilient to timing failures.
+
+    Parameters
+    ----------
+    n:
+        Maximum number of participants (pids ``0..n-1``).  Unlike binary
+        Algorithm 1, the tournament needs to know ``n``.
+    delta:
+        The delay bound handed to every binary instance.
+    max_rounds:
+        Optional per-instance round bound (see
+        :class:`~repro.core.consensus.TimeResilientConsensus`).
+    """
+
+    name = "multivalued_consensus"
+
+    def __init__(
+        self,
+        n: int,
+        delta: float,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.delta = float(delta)
+        ns = namespace if namespace is not None else RegisterNamespace.unique("mv_consensus")
+        self.announce = ns.array("announce", _NOT_ANNOUNCED)
+        self.levels = 0
+        while (1 << self.levels) < max(n, 2):
+            self.levels += 1
+        # One binary instance per internal node, heap-numbered 1..2^L - 1.
+        self._nodes: Dict[int, TimeResilientConsensus] = {}
+        for node in range(1, 1 << self.levels):
+            self._nodes[node] = TimeResilientConsensus(
+                delta=delta,
+                namespace=ns.child(("node", node)),
+                max_rounds=max_rounds,
+            )
+
+    def _path(self, pid: int) -> List[Tuple[int, int]]:
+        """(node, side) pairs from leaf to root for ``pid``."""
+        node = pid + (1 << self.levels)
+        path: List[Tuple[int, int]] = []
+        while node > 1:
+            side = node & 1
+            node >>= 1
+            path.append((node, side))
+        return path
+
+    def propose(self, pid: int, value: Any) -> Program:
+        """Propose ``value``; the generator returns the decided value."""
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        if value is _NOT_ANNOUNCED:
+            raise ValueError("proposal must not be None (None encodes 'no value')")
+        yield self.announce[pid].write(value)
+        # Climb: one binary consensus per node on my path, proposing the
+        # static side my subtree lies on.
+        for node, side in self._path(pid):
+            yield from self._nodes[node].propose(pid, side)
+        # Descend: follow decided sides to the winning leaf.  Every node on
+        # this path was decided before the root was (the root's decider
+        # climbed through it), so each embedded propose() terminates on its
+        # fast path or by adopting the standing decision.
+        winner = yield from self.winner_from_root(pid)
+        decision = yield self.announce[winner].read()
+        return decision
+
+    def winner_from_root(self, pid: int) -> Program:
+        """Descend the decided tournament tree; returns the winning pid.
+
+        Proposing our own (arbitrary) side at an already-decided node just
+        adopts the standing decision — Algorithm 1 reads ``decide`` first,
+        so the descent is read-mostly and wait-free.
+        """
+        node = 1
+        for _ in range(self.levels):
+            side = yield from self._nodes[node].propose(pid, 0)
+            node = (node << 1) | side
+        return node - (1 << self.levels)
+
+    def __repr__(self) -> str:
+        return f"MultivaluedConsensus(n={self.n}, delta={self.delta})"

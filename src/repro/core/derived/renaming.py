@@ -1,0 +1,76 @@
+"""Wait-free n-renaming, resilient to timing failures.
+
+§1.4 of the paper lists "wait-free n-renaming" among the corollaries:
+``n`` processes with arbitrary distinct ids acquire distinct names from
+the tight space ``{1..n}``.
+
+Construction — a ladder of multivalued consensus instances, one per name:
+every competitor proposes itself for name 1; the decided pid takes the
+name and stops; losers move on to name 2; and so on.  Per slot the winner
+is unique, and a pid that won slot ``s`` never proposes at a later slot,
+so no pid wins twice — names are distinct.  A process wins at latest at
+slot ``n`` (each earlier slot retired a distinct competitor), so the name
+space ``{1..n}`` suffices and the construction is wait-free: a process
+never waits for others, it merely runs at most ``n`` wait-free consensus
+instances.
+
+Resilience is inherited: name uniqueness (safety) is immune to timing
+failures; acquisition latency is ``O(n·Δ·log n)`` once the timing
+constraints hold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...sim import ops
+from ...sim.process import Program
+from ...sim.registers import RegisterNamespace
+from .multivalued import MultivaluedConsensus
+
+__all__ = ["Renaming"]
+
+
+class Renaming:
+    """One-shot tight n-renaming (pids ``0..n-1``, names ``1..n``)."""
+
+    name = "renaming"
+
+    def __init__(
+        self,
+        n: int,
+        delta: float,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        ns = namespace if namespace is not None else RegisterNamespace.unique("renaming")
+        self.n = n
+        self._slots = [
+            MultivaluedConsensus(
+                n=n,
+                delta=delta,
+                namespace=ns.child(("slot", s)),
+                max_rounds=max_rounds,
+            )
+            for s in range(n)
+        ]
+
+    def acquire(self, pid: int) -> Program:
+        """Acquire a name; the generator returns it (an int in 1..n)."""
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        for s, slot in enumerate(self._slots):
+            winner = yield from slot.propose(pid, pid)
+            if winner == pid:
+                name = s + 1
+                yield ops.label(ops.DECIDED, name)
+                return name
+        raise AssertionError(
+            f"pid {pid} lost all {self.n} slots — impossible: every slot "
+            f"retires a distinct winner"
+        )
+
+    def __repr__(self) -> str:
+        return f"Renaming(n={self.n})"

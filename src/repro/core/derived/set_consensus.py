@@ -1,0 +1,80 @@
+"""Wait-free k-set consensus, resilient to timing failures.
+
+§2.1 of the paper: "it is easy to construct algorithms that are resilient
+to timing failures for ... election, set-consensus and renaming".
+
+k-set consensus relaxes agreement: every process decides a proposed value
+and *at most k distinct* values are decided.  The classical reduction
+from consensus: statically partition the ``n`` processes into ``k``
+groups; each group runs one (full) consensus among its members.  Each
+group decides one value, so at most ``k`` values are decided system-wide;
+validity and wait-freedom are the group consensus's own.  Resilience is
+inherited instance-by-instance.
+
+(For registers alone and k < n, k-set consensus is *impossible* in a
+fully asynchronous system — Herlihy–Shavit / Borowsky–Gafni / Saks–
+Zaharoglou — so, exactly as with consensus, the timing-based escape is
+the whole point.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...sim import ops
+from ...sim.process import Program
+from ...sim.registers import RegisterNamespace
+from .multivalued import MultivaluedConsensus
+
+__all__ = ["SetConsensus"]
+
+
+class SetConsensus:
+    """One-shot n-process k-set consensus (pids ``0..n-1``)."""
+
+    name = "set_consensus"
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        delta: float,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not (1 <= k <= n):
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self.n = n
+        self.k = k
+        ns = namespace if namespace is not None else RegisterNamespace.unique("set_consensus")
+        # Group g = pid % k; group sizes differ by at most one.
+        self._group_sizes = [len(range(g, n, k)) for g in range(k)]
+        self._groups = [
+            MultivaluedConsensus(
+                n=self._group_sizes[g],
+                delta=delta,
+                namespace=ns.child(("group", g)),
+                max_rounds=max_rounds,
+            )
+            for g in range(k)
+        ]
+
+    def group_of(self, pid: int) -> int:
+        """The consensus group ``pid`` belongs to."""
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        return pid % self.k
+
+    def propose(self, pid: int, value: Any) -> Program:
+        """Propose ``value``; the generator returns this group's decision."""
+        group = self.group_of(pid)
+        # Index within the group (pids g, g+k, g+2k, ... map to 0, 1, ...).
+        local_pid = pid // self.k
+        decision = yield from self._groups[group].propose(local_pid, value)
+        yield ops.label(ops.DECIDED, decision)
+        return decision
+
+    def __repr__(self) -> str:
+        return f"SetConsensus(n={self.n}, k={self.k})"

@@ -1,0 +1,63 @@
+"""A wait-free test-and-set object from atomic registers.
+
+§1.4 of the paper lists "a wait-free implementation of a test-and-set
+object from atomic registers" among the corollaries of the consensus
+algorithm.  One-shot TAS is interprocess racing in its purest form: every
+caller invokes ``test_and_set()``; exactly one receives 0 (the winner),
+everyone else receives 1.
+
+Construction: leader election on the callers; the elected pid maps to
+return value 0.  Linearizability holds because a caller that runs alone
+to completion always elects itself (it decides every tournament node
+before anyone else proposes), so a loser must have overlapped the winner
+— giving the winner a legal first position in the linearization order.
+
+The object records ``obj_invoke``/``obj_respond`` labels so executions
+can be validated with :mod:`repro.spec.linearizability` against
+:class:`~repro.spec.linearizability.TestAndSetModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...sim import ops
+from ...sim.process import Program
+from ...sim.registers import RegisterNamespace
+from ...spec.histories import INVOKE, RESPOND
+from .multivalued import MultivaluedConsensus
+
+__all__ = ["TestAndSet"]
+
+
+class TestAndSet:
+    """One-shot n-process test-and-set (pids ``0..n-1``)."""
+
+    name = "test_and_set"
+    __test__ = False  # pytest: a library class, not a test case
+
+    def __init__(
+        self,
+        n: int,
+        delta: float,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+        object_id: str = "tas",
+    ) -> None:
+        ns = namespace if namespace is not None else RegisterNamespace.unique("tas")
+        self._consensus = MultivaluedConsensus(
+            n=n, delta=delta, namespace=ns, max_rounds=max_rounds
+        )
+        self.n = n
+        self.object_id = object_id
+
+    def test_and_set(self, pid: int) -> Program:
+        """Returns 0 to exactly one caller, 1 to all others."""
+        yield ops.label(INVOKE, (self.object_id, "test_and_set", ()))
+        winner = yield from self._consensus.propose(pid, pid)
+        result = 0 if winner == pid else 1
+        yield ops.label(RESPOND, (self.object_id, result))
+        return result
+
+    def __repr__(self) -> str:
+        return f"TestAndSet(n={self.n}, object_id={self.object_id!r})"

@@ -1,0 +1,166 @@
+"""A universal construction from time-resilient consensus (Herlihy).
+
+The paper (§1.4) invokes Herlihy's universality result [24]: given
+wait-free consensus from atomic registers, *any* object with a sequential
+specification has a wait-free implementation from atomic registers — and
+because our consensus is resilient to timing failures, so is the
+constructed object.
+
+The construction is the classic state-machine one:
+
+* every operation is *announced* in ``announce[pid]``;
+* an unbounded sequence of multivalued consensus instances — *slots* —
+  decides the total order of operations;
+* each process replays decided slots in order against a local replica of
+  the sequential specification (:class:`~repro.spec.linearizability.SequentialModel`);
+* **helping** makes it wait-free: at slot ``s``, every process whose own
+  operation is not the obvious proposal proposes the announced pending
+  operation of process ``s mod n``; within ``n`` slots of announcing,
+  some slot is unanimously your operation, so it gets decided no matter
+  how the adversary schedules you.
+
+Duplicate decisions (the same operation winning two slots, possible when
+both its owner and a helper proposed it in different slots) are filtered
+by operation id during replay, as in Herlihy's original.
+
+Linearizability: the slot order is a legal sequential history (each
+process computes results by replaying the same prefix), and it respects
+real time (an operation is only proposed after its invocation and its
+response follows its deciding slot).  Executions are checked against the
+sequential model by the tests via :mod:`repro.spec.linearizability`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ...sim import ops
+from ...sim.process import Program
+from ...sim.registers import RegisterNamespace
+from ...spec.histories import INVOKE, RESPOND
+from ...spec.linearizability import SequentialModel
+from .multivalued import MultivaluedConsensus
+
+__all__ = ["Universal", "UniversalClient"]
+
+_NO_OP = None
+
+
+class Universal:
+    """The shared side of a universal object (one per object).
+
+    Parameters
+    ----------
+    n:
+        Number of client processes (pids ``0..n-1``).
+    delta:
+        Delay bound for the embedded consensus instances.
+    model:
+        The object's sequential specification.
+    object_id:
+        Identifier used in the ``obj_invoke``/``obj_respond`` labels.
+    """
+
+    name = "universal"
+
+    def __init__(
+        self,
+        n: int,
+        delta: float,
+        model: SequentialModel,
+        namespace: Optional[RegisterNamespace] = None,
+        max_rounds: Optional[int] = None,
+        object_id: str = "universal",
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.delta = float(delta)
+        self.model = model
+        self.object_id = object_id
+        self._max_rounds = max_rounds
+        self._ns = namespace if namespace is not None else RegisterNamespace.unique("universal")
+        self.announce = self._ns.array("announce", _NO_OP)
+        self._slots: Dict[int, MultivaluedConsensus] = {}
+
+    def slot(self, index: int) -> MultivaluedConsensus:
+        """Get-or-create the consensus instance deciding slot ``index``.
+
+        Instances are created deterministically from the namespace, so
+        every process resolves the same slot to the same registers.
+        """
+        instance = self._slots.get(index)
+        if instance is None:
+            instance = MultivaluedConsensus(
+                n=self.n,
+                delta=self.delta,
+                namespace=self._ns.child(("slot", index)),
+                max_rounds=self._max_rounds,
+            )
+            self._slots[index] = instance
+        return instance
+
+    def client(self, pid: int) -> "UniversalClient":
+        """A per-process handle (owns the local replica; not shared)."""
+        return UniversalClient(self, pid)
+
+    def __repr__(self) -> str:
+        return f"Universal(n={self.n}, object_id={self.object_id!r})"
+
+
+class UniversalClient:
+    """Per-process replica and invocation logic for a :class:`Universal`."""
+
+    def __init__(self, universal: Universal, pid: int) -> None:
+        if not (0 <= pid < universal.n):
+            raise ValueError(f"pid {pid} out of range for n={universal.n}")
+        self.universal = universal
+        self.pid = pid
+        self._state = universal.model.initial()
+        self._next_slot = 0
+        self._applied: set = set()
+        self._op_counter = 0
+
+    def invoke(self, name: str, *args: Any) -> Program:
+        """Apply one operation; the generator returns its result."""
+        u = self.universal
+        op_id = (self.pid, self._op_counter)
+        self._op_counter += 1
+        my_op: Tuple[Any, str, Tuple[Any, ...]] = (op_id, name, tuple(args))
+        yield ops.label(INVOKE, (u.object_id, name, tuple(args)))
+        yield u.announce[self.pid].write(my_op)
+
+        result: Any = None
+        while True:
+            slot_index = self._next_slot
+            # Helping: at slot s, favor the announced pending operation of
+            # process (s mod n); this guarantees a unanimous slot for every
+            # announced operation within n slots.
+            helped = self.pid != slot_index % u.n
+            proposal = my_op
+            if helped:
+                candidate = yield u.announce[slot_index % u.n].read()
+                if candidate is not _NO_OP and candidate[0] not in self._applied:
+                    proposal = candidate
+            decided = yield from u.slot(slot_index).propose(self.pid, proposal)
+            self._next_slot += 1
+            decided_id, decided_name, decided_args = decided
+            if decided_id in self._applied:
+                continue  # duplicate win of an already-applied operation
+            self._applied.add(decided_id)
+            self._state, decided_result = u.model.apply(
+                self._state, decided_name, decided_args
+            )
+            if decided_id == op_id:
+                result = decided_result
+                break
+        yield ops.label(RESPOND, (u.object_id, result))
+        return result
+
+    @property
+    def local_state(self) -> Any:
+        """This replica's current state (for inspection in tests)."""
+        return self._state
+
+    def __repr__(self) -> str:
+        return f"UniversalClient(pid={self.pid}, next_slot={self._next_slot})"

@@ -1,0 +1,159 @@
+"""Algorithm 3 — mutual exclusion in the presence of timing failures.
+
+The paper's second headline result: wrap Fischer's timing-based doorway
+around an asynchronous lock ``A``, and change Fischer's exit to a
+*conditional* reset:
+
+.. code-block:: none
+
+    shared x: atomic register, initially 0 (A's registers are disjoint)
+
+    1  repeat   await (x = 0)
+    2           x := i
+    3           delay(Δ)
+    4  until    x = i
+    5  entry section of algorithm A
+    6  critical section
+    7  exit section of algorithm A
+    8  if x = i then x := 0 fi
+
+Without timing failures the doorway (lines 1–4) is Fischer's lock and
+admits one process at a time, so ``A`` runs contention-free: the lock
+costs ``O(Δ)`` time.  A timing failure can breach the doorway and flood
+``A`` with concurrent processes — but ``A``'s asynchronous mutual
+exclusion keeps the critical section safe (stabilization).  The
+conditional reset in line 8 guarantees that of all the processes flooded
+into ``A``, at most one re-opens the doorway; the rest drain away, so the
+flood is transient:
+
+* **Theorem 3.2** — if ``A`` is only deadlock-free (e.g. Lamport's fast
+  lock), draining is not guaranteed to be fair and the algorithm need not
+  converge back to ``O(Δ)``;
+* **Theorem 3.3** — if ``A`` is starvation-free, every flooded process
+  eventually leaves ``A``, and the algorithm converges: it is resilient
+  to timing failures.
+
+``TimeResilientMutex`` takes ``A`` as a parameter so both theorems are
+directly testable; :func:`default_time_resilient_mutex` builds the
+paper's recommended instantiation — the Bar-David transformation applied
+to Lamport's fast lock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algorithms.bar_david import BarDavidLock
+from ..algorithms.base import MutexAlgorithm, MutexProperties
+from ..algorithms.fischer import FREE
+from ..algorithms.lamport_fast import LamportFastLock
+from ..sim import ops
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+
+__all__ = ["TimeResilientMutex", "default_time_resilient_mutex"]
+
+
+class TimeResilientMutex(MutexAlgorithm):
+    """Algorithm 3: Fischer doorway + embedded asynchronous lock ``A``.
+
+    Parameters
+    ----------
+    inner:
+        The asynchronous algorithm ``A``.  Must satisfy mutual exclusion
+        and deadlock-freedom; must be *fast* for the Efficiency
+        requirement and *starvation-free* for the Convergence requirement
+        (Theorems 3.2/3.3).  Its registers must be disjoint from the
+        doorway's ``x`` (use separate namespaces).
+    delta:
+        The delay bound of line 3 — the system's ``Δ`` or an
+        ``optimistic(Δ)`` estimate.  Mutual exclusion never depends on it.
+    """
+
+    name = "time_resilient_mutex"
+
+    def __init__(
+        self,
+        inner: MutexAlgorithm,
+        delta: float,
+        namespace: Optional[RegisterNamespace] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.inner = inner
+        self.delta = float(delta)
+        ns = namespace if namespace is not None else RegisterNamespace.unique("alg3")
+        self.x = ns.register("x", FREE)
+        self.name = f"alg3({inner.name})"
+
+    @property
+    def properties(self) -> MutexProperties:
+        inner_props = self.inner.properties
+        return MutexProperties(
+            deadlock_free=inner_props.deadlock_free,
+            # The Fischer doorway is not fair: an individual process can
+            # lose the x-race forever, so Algorithm 3 is not starvation-
+            # free overall even when A is.  (The paper claims deadlock-
+            # freedom and the O(Δ) time-complexity metric — which bounds
+            # how long the *lock* sits unclaimed, not per-process waiting
+            # — and A's starvation-freedom is needed for convergence, not
+            # for doorway fairness.)
+            starvation_free=False,
+            fast=inner_props.fast,
+            timing_based=True,
+            # Mutual exclusion is inherited from A, which never consults
+            # the clock — this is the stabilization property.
+            exclusion_resilient=inner_props.exclusion_resilient,
+        )
+
+    def register_count(self, n: int) -> Optional[int]:
+        inner_count = self.inner.register_count(n)
+        if inner_count is None:
+            return None
+        return inner_count + 1  # + x
+
+    def entry(self, pid: int) -> Program:
+        # lines 1-4: Fischer's doorway.
+        while True:
+            while True:
+                value = yield self.x.read()
+                if value == FREE:
+                    break
+            yield self.x.write(pid)
+            yield ops.delay(self.delta)
+            value = yield self.x.read()
+            if value == pid:
+                break
+        # line 5: the embedded asynchronous lock.
+        yield from self.inner.entry(pid)
+
+    def exit(self, pid: int) -> Program:
+        # line 7.
+        yield from self.inner.exit(pid)
+        # line 8: conditional doorway reset — of all processes a timing
+        # failure flooded past the doorway, at most one sees its own id
+        # here and re-opens; the rest leave x alone and drain away.
+        value = yield self.x.read()
+        if value == pid:
+            yield self.x.write(FREE)
+
+    def __repr__(self) -> str:
+        return f"TimeResilientMutex(inner={self.inner!r}, delta={self.delta})"
+
+
+def default_time_resilient_mutex(
+    n: int, delta: float, namespace: Optional[RegisterNamespace] = None
+) -> TimeResilientMutex:
+    """The paper's recommended instantiation of Algorithm 3.
+
+    ``A`` = Bar-David transformation of Lamport's fast lock: fast *and*
+    starvation-free, hence (Theorem 3.3) the result is resilient to timing
+    failures.
+    """
+    ns = namespace if namespace is not None else RegisterNamespace.unique("trm")
+    inner = BarDavidLock(
+        inner=LamportFastLock(n, namespace=ns.child("lamport")),
+        n=n,
+        namespace=ns.child("gate"),
+    )
+    return TimeResilientMutex(inner=inner, delta=delta, namespace=ns.child("doorway"))

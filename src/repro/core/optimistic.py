@@ -1,0 +1,216 @@
+"""optimistic(Δ): running with an estimate of the step-time bound.
+
+The paper's §1.2/§3.3 observation: a sound ``Δ`` must absorb preemption,
+cache misses and contention, making it enormous — but because the
+time-resilient algorithms stay *safe* under any timing violation, they may
+run with an optimistic, much smaller estimate that holds "most of the
+time".  When the estimate is occasionally exceeded, the algorithm merely
+behaves as if a timing failure occurred and recovers automatically.
+
+This module provides estimators for tuning the estimate online:
+
+* :class:`FixedEstimate` — a constant estimate (the baseline);
+* :class:`AimdEstimator` — the paper's suggested TCP-congestion-control
+  shape: on evidence the estimate was too small (a consensus round failed
+  to decide, a doorway retry), grow multiplicatively; on sustained
+  success, shrink additively back toward optimism;
+* :class:`SlowStartEstimator` — doubling growth until the first success,
+  then AIMD.
+
+Estimators are deliberately decoupled from the algorithms: callers run an
+algorithm instance with ``estimator.current()``, then feed back
+``record_success()`` / ``record_failure()``.  :func:`tune_consensus`
+packages that loop for Algorithm 1 (used by experiment E10 and the
+``optimistic_tuning`` example).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+__all__ = [
+    "DeltaEstimator",
+    "FixedEstimate",
+    "AimdEstimator",
+    "SlowStartEstimator",
+    "TuningStep",
+    "tune",
+]
+
+
+class DeltaEstimator(ABC):
+    """Online estimator of ``optimistic(Δ)``."""
+
+    @abstractmethod
+    def current(self) -> float:
+        """The estimate to use for the next algorithm instance."""
+
+    @abstractmethod
+    def record_success(self) -> None:
+        """The last instance met its timing expectations."""
+
+    @abstractmethod
+    def record_failure(self) -> None:
+        """The last instance showed evidence the estimate was too small."""
+
+
+class FixedEstimate(DeltaEstimator):
+    """A constant estimate; feedback is ignored."""
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"estimate must be positive, got {value}")
+        self.value = float(value)
+
+    def current(self) -> float:
+        return self.value
+
+    def record_success(self) -> None:
+        pass
+
+    def record_failure(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"FixedEstimate({self.value})"
+
+
+class AimdEstimator(DeltaEstimator):
+    """Multiplicative increase on failure, additive decrease on success.
+
+    (The direction is inverted relative to TCP's congestion *window*
+    because the quantity being tuned is a timeout: failures mean the
+    estimate must grow.)
+
+    Parameters
+    ----------
+    initial:
+        Starting estimate.
+    increase_factor:
+        Multiplier applied on failure (≥ 1.1 recommended).
+    decrease_step:
+        Subtracted on success, floored at ``floor``.
+    floor / ceiling:
+        Clamp bounds for the estimate.
+    patience:
+        Number of consecutive successes required before shrinking —
+        prevents oscillation right at the true bound.
+    """
+
+    def __init__(
+        self,
+        initial: float,
+        increase_factor: float = 2.0,
+        decrease_step: float = 0.0,
+        floor: float = 1e-6,
+        ceiling: float = float("inf"),
+        patience: int = 3,
+    ) -> None:
+        if initial <= 0:
+            raise ValueError(f"initial must be positive, got {initial}")
+        if increase_factor <= 1.0:
+            raise ValueError(f"increase_factor must be > 1, got {increase_factor}")
+        if decrease_step < 0:
+            raise ValueError(f"decrease_step must be >= 0, got {decrease_step}")
+        if not (0 < floor <= ceiling):
+            raise ValueError(f"need 0 < floor <= ceiling, got {floor}, {ceiling}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self._estimate = min(max(float(initial), floor), ceiling)
+        self.increase_factor = increase_factor
+        self.decrease_step = (
+            decrease_step if decrease_step > 0 else self._estimate * 0.05
+        )
+        self.floor = floor
+        self.ceiling = ceiling
+        self.patience = patience
+        self._streak = 0
+        self.failures = 0
+        self.successes = 0
+
+    def current(self) -> float:
+        return self._estimate
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._streak = 0
+        self._estimate = min(self._estimate * self.increase_factor, self.ceiling)
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self._streak += 1
+        if self._streak >= self.patience:
+            self._streak = 0
+            self._estimate = max(self._estimate - self.decrease_step, self.floor)
+
+    def __repr__(self) -> str:
+        return (
+            f"AimdEstimator(current={self._estimate:.6g}, "
+            f"successes={self.successes}, failures={self.failures})"
+        )
+
+
+class SlowStartEstimator(DeltaEstimator):
+    """Doubling until the first success, then delegate to AIMD."""
+
+    def __init__(self, initial: float, **aimd_kwargs: object) -> None:
+        self._aimd = AimdEstimator(initial, **aimd_kwargs)  # type: ignore[arg-type]
+        self._slow_start = True
+
+    def current(self) -> float:
+        return self._aimd.current()
+
+    def record_failure(self) -> None:
+        # During slow start failures double (same as AIMD's increase);
+        # after it, identical behaviour.
+        self._aimd.record_failure()
+
+    def record_success(self) -> None:
+        self._slow_start = False
+        self._aimd.record_success()
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._slow_start
+
+    def __repr__(self) -> str:
+        phase = "slow-start" if self._slow_start else "aimd"
+        return f"SlowStartEstimator({phase}, current={self.current():.6g})"
+
+
+@dataclass
+class TuningStep:
+    """One instance in a tuning run: the estimate used and the outcome."""
+
+    instance: int
+    estimate: float
+    success: bool
+    cost: float  # whatever cost metric the runner reports (e.g. decision time)
+
+
+def tune(
+    estimator: DeltaEstimator,
+    run_instance: Callable[[float], "tuple[bool, float]"],
+    instances: int,
+) -> List[TuningStep]:
+    """Drive an estimator through ``instances`` runs.
+
+    ``run_instance(estimate)`` must execute one algorithm instance with
+    the given estimate and return ``(success, cost)`` where ``success``
+    means the estimate proved large enough (e.g. consensus decided within
+    two rounds) and ``cost`` is the latency achieved.
+    """
+    if instances < 0:
+        raise ValueError(f"instances must be >= 0, got {instances}")
+    steps: List[TuningStep] = []
+    for i in range(instances):
+        estimate = estimator.current()
+        success, cost = run_instance(estimate)
+        if success:
+            estimator.record_success()
+        else:
+            estimator.record_failure()
+        steps.append(TuningStep(instance=i, estimate=estimate, success=success, cost=cost))
+    return steps

@@ -1,0 +1,25 @@
+"""Message passing over atomic registers (paper §4 extension).
+
+FIFO mailboxes emulated in shared memory, a heartbeat failure detector
+with the adaptive (optimistic-timeout) rule, and Ω-style leader election
+whose eventual-agreement behaviour mirrors the paper's convergence
+requirement.
+"""
+
+from .channels import Endpoint, Mailbox, Network
+from .failure_detector import (
+    HeartbeatMonitor,
+    LeaderSample,
+    OmegaElection,
+    eventual_agreement,
+)
+
+__all__ = [
+    "Mailbox",
+    "Network",
+    "Endpoint",
+    "HeartbeatMonitor",
+    "OmegaElection",
+    "LeaderSample",
+    "eventual_agreement",
+]

@@ -1,0 +1,128 @@
+"""Message passing over atomic registers.
+
+The paper's Discussion lists "to consider message passing systems" as an
+extension.  Rather than a second engine, messages are emulated in shared
+memory the standard way: each ordered pair of processes gets an unbounded
+mailbox — an infinite array of slots plus a sequence counter, both
+written only by the sender — so every send is two register writes and
+every receive is a bounded number of reads.  The emulation preserves the
+timing structure exactly: a *message delay* is the time between the
+send's linearization and the receive's, so timing failures on steps are
+timing failures on delivery, and the paper's ``Δ`` plays the role of the
+partial-synchrony delivery bound.
+
+Mailboxes are FIFO, reliable and single-writer (no races on the sender
+side); receivers poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+
+__all__ = ["Mailbox", "Network"]
+
+
+class Mailbox:
+    """A FIFO channel from one sender to one receiver.
+
+    Shared registers: ``count`` (messages sent so far, written only by the
+    sender) and ``slot[i]`` (the i-th message).  The receiver keeps its
+    read cursor locally.
+    """
+
+    def __init__(self, namespace: RegisterNamespace, sender: int, receiver: int) -> None:
+        ns = namespace.child(("chan", sender, receiver))
+        self.sender = sender
+        self.receiver = receiver
+        self.count = ns.register("count", 0)
+        self.slots = ns.array("slot", None)
+
+    def send(self, message: Any) -> Program:
+        """Append one message (two writes: slot, then the counter).
+
+        The counter write is the linearization point of the send; a
+        receiver that observes ``count >= k`` is guaranteed to read the
+        k-th slot's final value (single writer, slot written first).
+        """
+        sent = yield self.count.read()
+        yield self.slots[sent].write(message)
+        yield self.count.write(sent + 1)
+
+    def receive_from(self, cursor: int) -> Program:
+        """Read every message with index >= cursor; returns (msgs, cursor').
+
+        Non-blocking: returns an empty list when nothing new arrived.
+        """
+        available = yield self.count.read()
+        messages: List[Any] = []
+        position = cursor
+        while position < available:
+            message = yield self.slots[position].read()
+            messages.append(message)
+            position += 1
+        return messages, position
+
+
+class Network:
+    """All-pairs mailboxes for ``n`` processes, plus per-process cursors.
+
+    The network object is shared; per-process receive state lives in a
+    :class:`Endpoint` obtained via :meth:`endpoint`.
+    """
+
+    def __init__(self, n: int, namespace: Optional[RegisterNamespace] = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        ns = namespace if namespace is not None else RegisterNamespace.unique("network")
+        self._mailboxes = {
+            (s, r): Mailbox(ns, s, r)
+            for s in range(n)
+            for r in range(n)
+            if s != r
+        }
+
+    def mailbox(self, sender: int, receiver: int) -> Mailbox:
+        return self._mailboxes[(sender, receiver)]
+
+    def endpoint(self, pid: int) -> "Endpoint":
+        if not (0 <= pid < self.n):
+            raise ValueError(f"pid {pid} out of range for n={self.n}")
+        return Endpoint(self, pid)
+
+
+class Endpoint:
+    """One process's view of the network (its receive cursors)."""
+
+    def __init__(self, network: Network, pid: int) -> None:
+        self.network = network
+        self.pid = pid
+        self._cursors = {
+            sender: 0 for sender in range(network.n) if sender != pid
+        }
+
+    def send(self, receiver: int, message: Any) -> Program:
+        """Send one message to ``receiver``."""
+        yield from self.network.mailbox(self.pid, receiver).send(message)
+
+    def broadcast(self, message: Any) -> Program:
+        """Send one message to every other process."""
+        for receiver in range(self.network.n):
+            if receiver != self.pid:
+                yield from self.send(receiver, message)
+
+    def poll(self) -> Program:
+        """Drain every inbound mailbox; returns [(sender, message), ...]."""
+        inbox: List[Tuple[int, Any]] = []
+        for sender in sorted(self._cursors):
+            mailbox = self.network.mailbox(sender, self.pid)
+            messages, cursor = yield from mailbox.receive_from(
+                self._cursors[sender]
+            )
+            self._cursors[sender] = cursor
+            inbox.extend((sender, m) for m in messages)
+        return inbox

@@ -1,0 +1,21 @@
+"""Real-thread backend: run the same generator algorithms on threads.
+
+The simulator (:mod:`repro.sim`) is the measurement instrument; this
+backend shows the algorithms execute unchanged on a real scheduler, whose
+GIL-induced jitter doubles as organic timing failures.
+"""
+
+from .executor import ThreadedExecutor, ThreadedRunResult, ThreadEvent
+from .registers import AccessRecord, SharedStore
+from .timing import HostDeltaReport, measure_host_delta, violations_against
+
+__all__ = [
+    "ThreadedExecutor",
+    "ThreadedRunResult",
+    "ThreadEvent",
+    "SharedStore",
+    "AccessRecord",
+    "HostDeltaReport",
+    "measure_host_delta",
+    "violations_against",
+]

@@ -1,0 +1,40 @@
+"""Virtual time for the discrete-event simulator.
+
+Time is a nonnegative float measured in abstract "time units"; the paper's
+``Δ`` (the known upper bound on the duration of one shared-memory step) is
+expressed in the same units.  The clock only moves forward, and only the
+engine may advance it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically nondecreasing virtual clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock must start at a nonnegative time, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to time ``t``.
+
+        Raises :class:`ValueError` on any attempt to move backwards; the
+        engine's event queue guarantees it never does.
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards: {self._now} -> {t}")
+        self._now = t
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now})"

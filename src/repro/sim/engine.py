@@ -1,0 +1,474 @@
+"""The discrete-event engine: the paper's timing-based system, executable.
+
+The engine realizes the paper's model directly:
+
+* shared memory is a set of atomic registers (:class:`~repro.sim.registers.Memory`);
+* each process is a generator program yielding operations;
+* every shared-memory access takes a duration chosen by the
+  :class:`~repro.sim.timing.TimingModel` — at most ``Δ`` in a well-behaved
+  system, more than ``Δ`` during a *timing failure*;
+* ``delay(d)`` suspends the process for (at least) ``d`` time units;
+* an operation's atomic effect (its linearization point) happens at its
+  completion instant; same-instant completions linearize in the order the
+  configured :class:`~repro.sim.scheduler.TieBreak` dictates.
+
+Crash failures (for the wait-freedom experiments) are pre-scheduled from a
+:class:`~repro.sim.failures.CrashSchedule`: a crashed process takes no
+further steps, and an in-flight operation whose completion would linearize
+at or after the crash instant is discarded — the crash really does strike
+"between the invocation and the effect".
+
+Determinism: given the same programs, timing model (with its seed), tie
+break and crash schedule, a run is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .clock import VirtualClock
+from .failures import CrashSchedule, MemoryFault
+from .ops import Delay, Label, LocalWork, Op, Read, ReadModifyWrite, Write
+from .process import Process, ProcessState, Program
+from .registers import Memory
+from .scheduler import FifoTieBreak, TieBreak
+from .timing import StepContext, TimingModel
+from .trace import EventKind, Trace, TraceEvent
+
+__all__ = ["Engine", "RunResult", "RunStatus", "SimulationError"]
+
+# Relative tolerance when classifying a step as a timing failure; guards
+# against float noise in duration arithmetic.
+_DELTA_TOLERANCE = 1e-9
+
+# How many consecutive zero-duration operations (labels) a process may
+# execute before the engine declares it livelocked.
+_MAX_ZERO_DURATION_RUN = 10_000
+
+
+class SimulationError(RuntimeError):
+    """An algorithm program raised, or the simulation itself is broken."""
+
+
+class RunStatus(enum.Enum):
+    """Why :meth:`Engine.run` returned."""
+
+    COMPLETED = "completed"  # every process finished or crashed
+    TIME_LIMIT = "time_limit"  # virtual max_time reached
+    STEP_LIMIT = "step_limit"  # max_total_steps shared accesses reached
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one simulation run."""
+
+    status: RunStatus
+    trace: Trace
+    memory: Memory
+    processes: Dict[int, Process]
+    end_time: float
+
+    @property
+    def returns(self) -> Dict[int, Any]:
+        """pid -> program return value, for processes that finished."""
+        return {
+            pid: p.result
+            for pid, p in self.processes.items()
+            if p.state is ProcessState.DONE
+        }
+
+    @property
+    def completed(self) -> bool:
+        return self.status is RunStatus.COMPLETED
+
+    @property
+    def crashed_pids(self) -> List[int]:
+        return sorted(
+            pid
+            for pid, p in self.processes.items()
+            if p.state is ProcessState.CRASHED
+        )
+
+    @property
+    def live_pids(self) -> List[int]:
+        """Processes still running when the run stopped (limits only)."""
+        return sorted(pid for pid, p in self.processes.items() if p.alive)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(status={self.status.value}, end={self.end_time:.3f}, "
+            f"events={len(self.trace)}, done={len(self.returns)}, "
+            f"crashed={len(self.crashed_pids)})"
+        )
+
+
+# Internal event actions.
+_START = "start"
+_COMPLETE = "complete"
+_CRASH = "crash"
+_FAULT = "fault"
+
+#: Pseudo-pid used for scheduler bookkeeping of injected memory faults.
+FAULT_PID = -1
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: Tuple
+    seq: int
+    pid: int = field(compare=False)
+    action: str = field(compare=False)
+    op: Optional[Op] = field(compare=False, default=None)
+    issued: float = field(compare=False, default=0.0)
+    send_value: Any = field(compare=False, default=None)
+
+
+class Engine:
+    """Discrete-event executor for generator programs.
+
+    Parameters
+    ----------
+    delta:
+        The paper's ``Δ`` — the *known* upper bound on step time.  Only
+        used for classification (which steps count as timing failures) and
+        by metrics; the actual durations come from ``timing``.
+    timing:
+        The :class:`TimingModel` assigning a duration to every operation.
+    tie_break:
+        Linearization order for same-instant completions.
+    crashes:
+        Optional :class:`CrashSchedule`.
+    max_time / max_total_steps:
+        Run limits; exceeding one stops the run with the corresponding
+        :class:`RunStatus` (needed because asynchronous adversaries can
+        make consensus run forever — FLP — and busy-wait loops never
+        terminate on their own).
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        timing: TimingModel,
+        tie_break: Optional[TieBreak] = None,
+        crashes: Optional[CrashSchedule] = None,
+        max_time: float = math.inf,
+        max_total_steps: float = math.inf,
+        memory: Optional[Memory] = None,
+        faults: Optional[List[MemoryFault]] = None,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+        self.timing = timing
+        self.tie_break = tie_break if tie_break is not None else FifoTieBreak()
+        self.crashes = crashes if crashes is not None else CrashSchedule.none()
+        self.max_time = max_time
+        self.max_total_steps = max_total_steps
+        self.memory = memory if memory is not None else Memory()
+
+        self.clock = VirtualClock()
+        self.trace = Trace(delta)
+        self.processes: Dict[int, Process] = {}
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._event_seq = itertools.count()
+        self.total_shared_steps = 0
+        self._ran = False
+        for fault in faults or ():
+            event = _Event(
+                time=fault.at,
+                priority=self.tie_break.priority(FAULT_PID, next(self._seq)),
+                seq=next(self._event_seq),
+                pid=FAULT_PID,
+                action=_FAULT,
+                send_value=fault,
+            )
+            heapq.heappush(self._heap, event)
+
+    # -- setup ---------------------------------------------------------------
+
+    def spawn(
+        self,
+        program: Program,
+        pid: Optional[int] = None,
+        name: Optional[str] = None,
+        start_time: float = 0.0,
+    ) -> Process:
+        """Register a program as a process starting at ``start_time``."""
+        if self._ran:
+            raise RuntimeError("cannot spawn after run() — build a new Engine")
+        if start_time < 0:
+            raise ValueError(f"start_time must be >= 0, got {start_time}")
+        if pid is None:
+            pid = len(self.processes)
+        if pid in self.processes:
+            raise ValueError(f"pid {pid} already spawned")
+        proc = Process(pid, program, name)
+        proc.started_at = start_time
+        proc.crash_time = self.crashes.crash_time(pid)
+        proc.crash_step = self.crashes.crash_step(pid)
+        self.processes[pid] = proc
+        self._push(start_time, pid, _START)
+        if math.isfinite(proc.crash_time):
+            self._push(proc.crash_time, pid, _CRASH)
+        return proc
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _push(
+        self,
+        time: float,
+        pid: int,
+        action: str,
+        op: Optional[Op] = None,
+        issued: float = 0.0,
+    ) -> None:
+        event = _Event(
+            time=time,
+            priority=self.tie_break.priority(pid, next(self._seq)),
+            seq=next(self._event_seq),
+            pid=pid,
+            action=action,
+            op=op,
+            issued=issued,
+        )
+        heapq.heappush(self._heap, event)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute until every process finishes/crashes or a limit trips."""
+        if self._ran:
+            raise RuntimeError("Engine.run() may only be called once")
+        self._ran = True
+        status = RunStatus.COMPLETED
+        while self._heap:
+            if self.total_shared_steps >= self.max_total_steps:
+                status = RunStatus.STEP_LIMIT
+                break
+            event = heapq.heappop(self._heap)
+            if event.time > self.max_time:
+                status = RunStatus.TIME_LIMIT
+                break
+            if event.action == _FAULT:
+                self.clock.advance_to(event.time)
+                fault: MemoryFault = event.send_value
+                self.memory.poke(fault.register, fault.value)
+                self.trace.append(
+                    TraceEvent(
+                        seq=next(self._event_seq),
+                        pid=FAULT_PID,
+                        kind=EventKind.FAULT,
+                        issued=event.time,
+                        completed=event.time,
+                        register=fault.register.name,
+                        value=fault.value,
+                    )
+                )
+                continue
+            proc = self.processes[event.pid]
+            if event.action == _CRASH:
+                self._crash(proc, event.time)
+                continue
+            if not proc.alive:
+                continue  # stale event for a crashed process
+            self.clock.advance_to(event.time)
+            if event.action == _START:
+                self._start(proc, event.time)
+            elif event.action == _COMPLETE:
+                self._complete(proc, event.op, event.issued, event.time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event action {event.action!r}")
+        self.trace.finalize()
+        return RunResult(
+            status=status,
+            trace=self.trace,
+            memory=self.memory,
+            processes=self.processes,
+            end_time=self.clock.now,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _start(self, proc: Process, now: float) -> None:
+        if proc.crash_step <= 0:
+            self._crash(proc, now)
+            return
+        proc.state = ProcessState.RUNNING
+        self._resume(proc, None, now)
+
+    def _crash(self, proc: Process, now: float) -> None:
+        if not proc.alive:
+            return
+        proc.state = ProcessState.CRASHED
+        proc.finished_at = now
+        self.trace.append(
+            TraceEvent(
+                seq=next(self._event_seq),
+                pid=proc.pid,
+                kind=EventKind.CRASH,
+                issued=now,
+                completed=now,
+            )
+        )
+        proc.program.close()
+
+    def _complete(self, proc: Process, op: Optional[Op], issued: float, now: float) -> None:
+        """Apply an in-flight operation's effect at its completion instant."""
+        send_value: Any = None
+        if isinstance(op, Read):
+            send_value = self.memory.read(op.register)
+            self._record_shared(proc, EventKind.READ, op.register.name, send_value, issued, now)
+        elif isinstance(op, Write):
+            self.memory.write(op.register, op.value)
+            self._record_shared(proc, EventKind.WRITE, op.register.name, op.value, issued, now)
+        elif isinstance(op, ReadModifyWrite):
+            send_value = self.memory.rmw(op.register, op.transform)
+            self._record_shared(
+                proc, EventKind.RMW, op.register.name, send_value, issued, now
+            )
+        elif isinstance(op, Delay):
+            self._record(proc, EventKind.DELAY, None, op.duration, issued, now)
+        elif isinstance(op, LocalWork):
+            self._record(proc, EventKind.LOCAL, None, op.duration, issued, now)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unexpected in-flight op {op!r}")
+        proc.total_ops += 1
+        if isinstance(op, (Read, Write, ReadModifyWrite)):
+            proc.shared_steps += 1
+            self.total_shared_steps += 1
+            if proc.shared_steps >= proc.crash_step:
+                self._crash(proc, now)
+                return
+        self._resume(proc, send_value, now)
+
+    def _resume(self, proc: Process, send_value: Any, now: float) -> None:
+        """Pull operations from the program until one consumes time."""
+        for _ in range(_MAX_ZERO_DURATION_RUN):
+            try:
+                op = proc.program.send(send_value)
+            except StopIteration as stop:
+                proc.state = ProcessState.DONE
+                proc.result = stop.value
+                proc.finished_at = now
+                self.trace.append(
+                    TraceEvent(
+                        seq=next(self._event_seq),
+                        pid=proc.pid,
+                        kind=EventKind.DONE,
+                        issued=now,
+                        completed=now,
+                        value=stop.value,
+                    )
+                )
+                return
+            except Exception as exc:
+                proc.state = ProcessState.FAILED
+                proc.error = exc
+                raise SimulationError(
+                    f"process {proc.pid} ({proc.name}) raised {exc!r} at time {now}"
+                ) from exc
+
+            if isinstance(op, Label):
+                self.trace.append(
+                    TraceEvent(
+                        seq=next(self._event_seq),
+                        pid=proc.pid,
+                        kind=EventKind.LABEL,
+                        issued=now,
+                        completed=now,
+                        value=op.payload,
+                        label=op.kind,
+                    )
+                )
+                proc.total_ops += 1
+                send_value = None
+                continue
+
+            duration = self._duration_of(proc, op, now)
+            self._push(now + duration, proc.pid, _COMPLETE, op=op, issued=now)
+            return
+        raise SimulationError(
+            f"process {proc.pid} ({proc.name}) executed {_MAX_ZERO_DURATION_RUN} "
+            f"consecutive zero-duration operations at time {now}: livelock"
+        )
+
+    def _duration_of(self, proc: Process, op: Op, now: float) -> float:
+        if isinstance(op, (Read, Write, ReadModifyWrite)):
+            ctx = StepContext(pid=proc.pid, op=op, now=now, step_index=proc.shared_steps)
+            duration = self.timing.shared_step_duration(ctx)
+            if duration <= 0:
+                raise SimulationError(
+                    f"timing model produced nonpositive step duration {duration}"
+                )
+            return duration
+        if isinstance(op, Delay):
+            duration = self.timing.delay_duration(proc.pid, op.duration, now)
+            if duration < op.duration:
+                raise SimulationError(
+                    f"delay({op.duration}) shortened to {duration}: delay must "
+                    f"last at least the requested time"
+                )
+            return duration
+        if isinstance(op, LocalWork):
+            duration = self.timing.local_duration(proc.pid, op.duration, now)
+            if duration < 0:
+                raise SimulationError(
+                    f"local work duration must be >= 0, got {duration}"
+                )
+            return duration
+        raise SimulationError(
+            f"process {proc.pid} ({proc.name}) yielded a non-operation: {op!r}"
+        )
+
+    # -- trace recording ----------------------------------------------------------
+
+    def _record_shared(
+        self,
+        proc: Process,
+        kind: str,
+        register_name: Any,
+        value: Any,
+        issued: float,
+        completed: float,
+    ) -> None:
+        exceeded = (completed - issued) > self.delta * (1.0 + _DELTA_TOLERANCE)
+        self.trace.append(
+            TraceEvent(
+                seq=next(self._event_seq),
+                pid=proc.pid,
+                kind=kind,
+                issued=issued,
+                completed=completed,
+                register=register_name,
+                value=value,
+                exceeded_delta=exceeded,
+            )
+        )
+
+    def _record(
+        self,
+        proc: Process,
+        kind: str,
+        register_name: Any,
+        value: Any,
+        issued: float,
+        completed: float,
+    ) -> None:
+        self.trace.append(
+            TraceEvent(
+                seq=next(self._event_seq),
+                pid=proc.pid,
+                kind=kind,
+                issued=issued,
+                completed=completed,
+                register=register_name,
+                value=value,
+            )
+        )

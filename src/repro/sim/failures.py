@@ -1,0 +1,182 @@
+"""Failure descriptions: timing-failure windows and crash schedules.
+
+The paper considers two kinds of adversity:
+
+* **timing failures** — a step (one shared-memory access) takes longer
+  than the known bound ``Δ``.  We describe these as
+  :class:`TimingFailureWindow` intervals during which affected processes'
+  steps are stretched beyond ``Δ``;
+* **process crashes** — a process permanently stops taking steps
+  (Algorithm 1 is wait-free, so it must tolerate any number of these).
+  We describe these with a :class:`CrashSchedule`.
+
+Both descriptions are pure data; :mod:`repro.sim.timing` and
+:mod:`repro.sim.engine` interpret them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TimingFailureWindow",
+    "CrashSchedule",
+    "MemoryFault",
+    "failure_window",
+    "merge_windows",
+]
+
+
+@dataclass(frozen=True)
+class TimingFailureWindow:
+    """An interval during which steps violate the timing assumption.
+
+    Any shared-memory step *issued* at a time ``t`` with
+    ``start <= t < end`` by an affected process takes ``stretch`` times its
+    nominal duration (or exactly ``duration`` time units when given).  A
+    window with ``pids=None`` affects every process.
+
+    To actually constitute a timing failure in the paper's sense the
+    resulting duration must exceed ``Δ``; the constructor cannot check that
+    (it does not know ``Δ``), but :meth:`violates_delta` lets callers
+    assert it.
+    """
+
+    start: float
+    end: float
+    pids: Optional[FrozenSet[int]] = None
+    stretch: float = 1.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} precedes start {self.start}")
+        if self.stretch < 1.0:
+            raise ValueError(f"stretch must be >= 1, got {self.stretch}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def affects(self, pid: int, now: float) -> bool:
+        """True when a step issued by ``pid`` at time ``now`` is affected."""
+        if not (self.start <= now < self.end):
+            return False
+        return self.pids is None or pid in self.pids
+
+    def apply(self, nominal: float) -> float:
+        """The stretched duration of a step whose nominal duration is given."""
+        if self.duration is not None:
+            return max(nominal, self.duration)
+        return nominal * self.stretch
+
+    def violates_delta(self, delta: float, nominal: float) -> bool:
+        """Whether the window turns a nominal-duration step into a failure."""
+        return self.apply(nominal) > delta
+
+
+def failure_window(
+    start: float,
+    end: float,
+    pids: Optional[Iterable[int]] = None,
+    stretch: float = 1.0,
+    duration: Optional[float] = None,
+) -> TimingFailureWindow:
+    """Convenience constructor accepting any iterable of pids."""
+    frozen = None if pids is None else frozenset(pids)
+    return TimingFailureWindow(start, end, frozen, stretch, duration)
+
+
+def merge_windows(
+    windows: Sequence[TimingFailureWindow],
+) -> List[Tuple[float, float]]:
+    """Collapse windows into a sorted list of disjoint (start, end) spans.
+
+    Used to compute "the last instant at which a timing failure may occur",
+    after which the convergence clock of the resilience checker starts.
+    """
+    spans = sorted((w.start, w.end) for w in windows)
+    merged: List[Tuple[float, float]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass(frozen=True)
+class MemoryFault:
+    """A transient memory failure: a register spontaneously changes value.
+
+    The paper's Discussion lists "both (transient) memory failures and
+    timing failures" as an extension; this is the injection primitive for
+    exploring it.  At virtual time ``at`` the register named by the handle
+    ``register`` is overwritten with ``value``, independent of any
+    process.  The corruption linearizes like a write at that instant and
+    is recorded in the trace as a ``fault`` event.
+
+    The paper's algorithms are NOT claimed resilient to these — the test
+    suite documents which corruptions they happen to survive (e.g. stale
+    round flags after a decision) and which they do not (a corrupted
+    ``decide`` register forges decisions).
+    """
+
+    at: float
+    register: object  # a Register handle
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+
+
+@dataclass
+class CrashSchedule:
+    """When (if ever) each process crashes.
+
+    A crash is modelled as the process permanently ceasing to take steps.
+    Two triggers are supported and may be combined; whichever fires first
+    wins:
+
+    * ``at_time[pid]`` — the process crashes at that virtual time (it will
+      not *complete* any shared-memory step whose linearization point would
+      fall at or after the crash time, and takes no further steps);
+    * ``after_steps[pid]`` — the process crashes immediately after
+      completing that many shared-memory steps (0 means it never takes a
+      step at all).
+    """
+
+    at_time: Dict[int, float] = field(default_factory=dict)
+    after_steps: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pid, t in self.at_time.items():
+            if t < 0:
+                raise ValueError(f"crash time for pid {pid} must be >= 0, got {t}")
+        for pid, k in self.after_steps.items():
+            if k < 0:
+                raise ValueError(f"crash step for pid {pid} must be >= 0, got {k}")
+
+    def crash_time(self, pid: int) -> float:
+        """The scheduled crash time of ``pid`` (``inf`` when none)."""
+        return self.at_time.get(pid, math.inf)
+
+    def crash_step(self, pid: int) -> float:
+        """The scheduled crash step-count of ``pid`` (``inf`` when none)."""
+        return self.after_steps.get(pid, math.inf)
+
+    def crashes(self, pid: int) -> bool:
+        return pid in self.at_time or pid in self.after_steps
+
+    @classmethod
+    def none(cls) -> "CrashSchedule":
+        """A schedule with no crashes."""
+        return cls()
+
+    @classmethod
+    def crash_all_but(
+        cls, survivor: int, pids: Iterable[int], after_steps: int = 0
+    ) -> "CrashSchedule":
+        """Crash everyone except ``survivor`` after ``after_steps`` steps."""
+        return cls(after_steps={p: after_steps for p in pids if p != survivor})

@@ -1,0 +1,248 @@
+"""Operation vocabulary for simulated processes.
+
+A simulated process is a Python generator that *yields* operations and
+receives their results back through ``send``.  The same operation objects
+are interpreted by three different executors:
+
+* :class:`repro.sim.engine.Engine` — the discrete-event timing simulator,
+  which charges each shared-memory operation a duration drawn from a
+  :class:`repro.sim.timing.TimingModel`;
+* :class:`repro.verify.explorer.Explorer` — the model checker, which
+  explores interleavings of shared-memory operations under fully
+  asynchronous semantics (``Delay`` provides no guarantee there, which is
+  exactly the paper's notion of a timing failure);
+* :class:`repro.runtime.executor.ThreadedExecutor` — a real-thread backend.
+
+Only :class:`Read` and :class:`Write` touch shared memory and are therefore
+"steps" in the sense of the paper's timing assumption (there is a known
+upper bound ``Δ`` on the time any single such step may take).  ``Delay`` is
+the paper's explicit ``delay(d)`` statement.  ``LocalWork`` consumes
+simulated time without touching shared memory (used to model critical
+sections and think times).  ``Label`` is a zero-duration annotation recorded
+in the trace, used by the specification checkers (e.g. critical-section
+entry and exit marks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .registers import Register
+
+
+__all__ = [
+    "Op",
+    "Read",
+    "Write",
+    "ReadModifyWrite",
+    "compare_and_swap",
+    "fetch_and_add",
+    "get_and_set",
+    "Delay",
+    "LocalWork",
+    "Label",
+    "ENTRY_START",
+    "CS_ENTER",
+    "CS_EXIT",
+    "EXIT_DONE",
+    "DECIDED",
+    "read",
+    "write",
+    "delay",
+    "local_work",
+    "label",
+]
+
+
+class Op:
+    """Base class for everything a simulated process may yield."""
+
+    __slots__ = ()
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the operation accesses shared memory (a "step")."""
+        return False
+
+
+@dataclass(frozen=True)
+class Read(Op):
+    """Atomically read a shared register; the register's value is sent back."""
+
+    register: "Register"
+
+    __slots__ = ("register",)
+
+    @property
+    def is_shared(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Read({self.register.name!r})"
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Atomically write ``value`` to a shared register."""
+
+    register: "Register"
+    value: Any
+
+    __slots__ = ("register", "value")
+
+    @property
+    def is_shared(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Write({self.register.name!r}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class ReadModifyWrite(Op):
+    """An atomic read-modify-write on one register (paper §4 extension).
+
+    The paper's algorithms use reads and writes only; its Discussion
+    section lists "synchronization primitives other than atomic registers"
+    as an extension.  This op applies ``transform(old) -> (new, result)``
+    atomically at the linearization point; the process receives
+    ``result``.  ``transform`` must be pure (it may run more than once in
+    replay-based exploration).
+
+    Use the helpers :func:`compare_and_swap`, :func:`fetch_and_add` and
+    :func:`get_and_set` for the classic primitives; ``name`` identifies
+    the primitive in traces.
+    """
+
+    register: "Register"
+    transform: "Callable[[Any], tuple]"
+    name: str = "rmw"
+
+    @property
+    def is_shared(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ReadModifyWrite({self.register.name!r}, {self.name})"
+
+
+def compare_and_swap(register: "Register", expected: Any, new: Any) -> ReadModifyWrite:
+    """CAS: if the register holds ``expected``, store ``new``.
+
+    The process receives ``True`` on success, ``False`` otherwise.
+    """
+
+    def transform(old: Any) -> tuple:
+        if old == expected:
+            return new, True
+        return old, False
+
+    return ReadModifyWrite(register, transform, name="cas")
+
+
+def fetch_and_add(register: "Register", amount: Any = 1) -> ReadModifyWrite:
+    """Atomically add ``amount``; the process receives the old value."""
+
+    def transform(old: Any) -> tuple:
+        return old + amount, old
+
+    return ReadModifyWrite(register, transform, name="faa")
+
+
+def get_and_set(register: "Register", new: Any) -> ReadModifyWrite:
+    """Atomically store ``new``; the process receives the old value."""
+
+    def transform(old: Any) -> tuple:
+        return new, old
+
+    return ReadModifyWrite(register, transform, name="gas")
+
+
+@dataclass(frozen=True)
+class Delay(Op):
+    """The paper's explicit ``delay(d)`` statement.
+
+    Under the timing-based semantics the process is suspended for *at
+    least* ``duration`` time units (the engine charges exactly
+    ``duration``, matching the paper's accounting convention).  Under
+    fully asynchronous semantics — i.e. during timing failures — a delay
+    provides no synchronization guarantee whatsoever, which is how the
+    model checker treats it.
+    """
+
+    duration: float
+
+    __slots__ = ("duration",)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"delay duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class LocalWork(Op):
+    """Local computation consuming ``duration`` time units.
+
+    Does not touch shared memory; used to model the critical section body
+    and the remainder (non-critical) section of long-lived workloads.
+    """
+
+    duration: float
+
+    __slots__ = ("duration",)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"local work duration must be >= 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class Label(Op):
+    """A zero-duration trace annotation.
+
+    The specification checkers recognise the well-known kinds below
+    (``ENTRY_START``, ``CS_ENTER``, ...); arbitrary kinds may be used for
+    ad-hoc instrumentation.  ``payload`` travels with the trace event.
+    """
+
+    # No __slots__ here: dataclass fields with defaults store a class
+    # attribute, which conflicts with same-named slots on Python < 3.10's
+    # dataclass (no ``slots=True``); Labels are rare enough not to matter.
+    kind: str
+    payload: Optional[Hashable] = None
+
+
+# Well-known label kinds used by the mutual-exclusion and consensus
+# specification checkers.
+ENTRY_START = "entry_start"
+CS_ENTER = "cs_enter"
+CS_EXIT = "cs_exit"
+EXIT_DONE = "exit_done"
+DECIDED = "decided"
+
+
+def read(register: "Register") -> Read:
+    """Convenience constructor: ``value = yield read(reg)``."""
+    return Read(register)
+
+
+def write(register: "Register", value: Any) -> Write:
+    """Convenience constructor: ``yield write(reg, v)``."""
+    return Write(register, value)
+
+
+def delay(duration: float) -> Delay:
+    """Convenience constructor for the paper's ``delay(d)`` statement."""
+    return Delay(duration)
+
+
+def local_work(duration: float) -> LocalWork:
+    """Convenience constructor for local (non-shared) computation."""
+    return LocalWork(duration)
+
+
+def label(kind: str, payload: Optional[Hashable] = None) -> Label:
+    """Convenience constructor for trace annotations."""
+    return Label(kind, payload)

@@ -1,0 +1,84 @@
+"""Simulated processes.
+
+A *program* is a Python generator that yields :class:`~repro.sim.ops.Op`
+objects and receives each operation's result via ``send``; its ``return``
+value (if any) becomes the process's result.  A :class:`Process` wraps a
+program with the bookkeeping the engine needs: lifecycle state, step
+counts, and the eventual result.
+
+The paper's model has no bound on the number of participating processes
+(Theorem 2.1 item 5); the engine accepts any number of processes and the
+algorithms never need to know ``n`` unless their specification requires it
+(mutual exclusion algorithms are parameterized by ``n`` as in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+from .ops import Op
+
+__all__ = ["Program", "ProcessState", "Process"]
+
+# The generator protocol every algorithm follows.
+Program = Generator[Op, Any, Any]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    READY = "ready"  # will issue its next operation when scheduled
+    RUNNING = "running"  # an operation is in flight
+    DONE = "done"  # program returned normally
+    CRASHED = "crashed"  # stopped permanently by the crash schedule
+    FAILED = "failed"  # program raised an exception (a bug, re-raised)
+
+
+class Process:
+    """Engine-side wrapper around one program."""
+
+    __slots__ = (
+        "pid",
+        "name",
+        "program",
+        "state",
+        "result",
+        "error",
+        "shared_steps",
+        "total_ops",
+        "crash_time",
+        "crash_step",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(self, pid: int, program: Program, name: Optional[str] = None) -> None:
+        self.pid = pid
+        self.name = name if name is not None else f"p{pid}"
+        self.program = program
+        self.state = ProcessState.READY
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.shared_steps = 0  # completed shared-memory accesses
+        self.total_ops = 0  # completed operations of any kind
+        self.crash_time: float = float("inf")
+        self.crash_step: float = float("inf")
+        self.started_at: float = 0.0
+        self.finished_at: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        """True while the process may still take steps."""
+        return self.state in (ProcessState.READY, ProcessState.RUNNING)
+
+    @property
+    def decided(self) -> bool:
+        """True when the program ran to completion."""
+        return self.state is ProcessState.DONE
+
+    def __repr__(self) -> str:
+        return (
+            f"Process(pid={self.pid}, name={self.name!r}, state={self.state.value}, "
+            f"shared_steps={self.shared_steps})"
+        )

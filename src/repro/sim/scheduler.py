@@ -1,0 +1,75 @@
+"""Tie-breaking policies for same-instant events.
+
+The engine orders events by completion time; when several operations
+complete at the same instant (routine under :class:`ConstantTiming`), the
+scheduler decides their linearization order.  Different policies expose
+different interleavings without touching the timing model:
+
+* :class:`FifoTieBreak` — issue order (deterministic, the default);
+* :class:`PidOrderTieBreak` — a fixed priority list of pids, useful for
+  constructing specific adversarial linearizations in tests;
+* :class:`RandomTieBreak` — seeded random order, used by the
+  property-based tests to sweep many linearizations cheaply.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+__all__ = ["TieBreak", "FifoTieBreak", "PidOrderTieBreak", "RandomTieBreak"]
+
+
+class TieBreak(ABC):
+    """Assigns a sort key fragment to each scheduled event."""
+
+    @abstractmethod
+    def priority(self, pid: int, seq: int) -> Tuple:
+        """Sort key for an event by ``pid`` with engine sequence ``seq``.
+
+        Events with equal completion time linearize in ascending priority
+        order (the engine appends ``seq`` as a final deterministic
+        tie-breaker, so priorities need not be unique).
+        """
+
+
+class FifoTieBreak(TieBreak):
+    """Linearize same-instant events in the order they were scheduled."""
+
+    def priority(self, pid: int, seq: int) -> Tuple:
+        return (seq,)
+
+    def __repr__(self) -> str:
+        return "FifoTieBreak()"
+
+
+class PidOrderTieBreak(TieBreak):
+    """Linearize same-instant events by a fixed pid priority list.
+
+    Pids missing from the list sort after all listed pids, by pid.
+    """
+
+    def __init__(self, order: Sequence[int]) -> None:
+        self._rank = {pid: i for i, pid in enumerate(order)}
+
+    def priority(self, pid: int, seq: int) -> Tuple:
+        return (self._rank.get(pid, len(self._rank)), pid)
+
+    def __repr__(self) -> str:
+        ordered = sorted(self._rank, key=self._rank.get)
+        return f"PidOrderTieBreak({ordered!r})"
+
+
+class RandomTieBreak(TieBreak):
+    """Linearize same-instant events in seeded-random order."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def priority(self, pid: int, seq: int) -> Tuple:
+        return (self._rng.random(),)
+
+    def __repr__(self) -> str:
+        return f"RandomTieBreak(seed={self.seed})"

@@ -1,0 +1,59 @@
+"""Problem specifications as executable trace checkers.
+
+* :mod:`~repro.spec.consensus_spec` — validity, agreement, termination;
+* :mod:`~repro.spec.mutex_spec` — mutual exclusion, starvation, and the
+  paper's time-complexity metric;
+* :mod:`~repro.spec.histories` / :mod:`~repro.spec.linearizability` —
+  object histories and a linearizability checker for the derived wait-free
+  objects.
+"""
+
+from .consensus_spec import ConsensusVerdict, check_consensus
+from .histories import INVOKE, RESPOND, History, Operation, history_from_trace, pending_from_trace
+from .linearizability import (
+    ConsensusModel,
+    CounterModel,
+    LinearizabilityResult,
+    QueueModel,
+    RegisterModel,
+    SequentialModel,
+    StackModel,
+    TestAndSetModel,
+    check_linearizability,
+)
+from .mutex_spec import (
+    MutexVerdict,
+    check_mutex,
+    check_mutual_exclusion,
+    check_starvation,
+    max_bypass,
+    time_complexity,
+    unserved_intervals,
+)
+
+__all__ = [
+    "ConsensusVerdict",
+    "check_consensus",
+    "MutexVerdict",
+    "check_mutex",
+    "check_mutual_exclusion",
+    "check_starvation",
+    "max_bypass",
+    "time_complexity",
+    "unserved_intervals",
+    "History",
+    "Operation",
+    "history_from_trace",
+    "pending_from_trace",
+    "INVOKE",
+    "RESPOND",
+    "SequentialModel",
+    "ConsensusModel",
+    "TestAndSetModel",
+    "QueueModel",
+    "StackModel",
+    "CounterModel",
+    "RegisterModel",
+    "LinearizabilityResult",
+    "check_linearizability",
+]

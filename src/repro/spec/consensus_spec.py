@@ -1,0 +1,148 @@
+"""The consensus problem as a trace checker.
+
+Consensus (binary or multivalued) requires of every execution:
+
+* **validity** — every decided value is some process's input;
+* **agreement** — no two processes decide differently (Theorem 2.3);
+* **termination / wait-freedom** — once timing failures stop, every
+  nonfaulty process decides, no matter how many others crashed
+  (Theorem 2.4).
+
+:func:`check_consensus` evaluates all three on a finished
+:class:`~repro.sim.engine.RunResult`.  Safety (validity + agreement) must
+hold on *every* run, including truncated ones (step/time limits) and runs
+riddled with timing failures — that is the paper's stabilization
+requirement.  Termination is only asserted when the caller says the run
+was supposed to terminate (``require_termination=True``), since under
+never-ending timing failures consensus may legitimately run forever (FLP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..sim.engine import RunResult
+from ..sim.process import ProcessState
+
+__all__ = ["ConsensusVerdict", "check_consensus"]
+
+
+@dataclass
+class ConsensusVerdict:
+    """Outcome of checking one execution against the consensus spec."""
+
+    valid: bool
+    agreed: bool
+    terminated: bool
+    decisions: Dict[int, Any] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        """Validity and agreement together — the always-required half."""
+        return self.valid and self.agreed
+
+    @property
+    def ok(self) -> bool:
+        return self.safe and self.terminated
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else ("safe" if self.safe else "VIOLATED")
+        return (
+            f"ConsensusVerdict({status}, decisions={self.decisions!r}, "
+            f"violations={self.violations!r})"
+        )
+
+
+def _decided_values(result: RunResult) -> Dict[int, Any]:
+    """Combine DECIDED labels and program return values, cross-checking."""
+    decisions: Dict[int, Any] = {}
+    for pid, (_, value) in result.trace.decisions().items():
+        decisions[pid] = value
+    for pid, value in result.returns.items():
+        if value is None:
+            # None encodes ⊥ (no decision): a program finishing without a
+            # decision (e.g. a truncated helper) is not a decider.
+            continue
+        if pid in decisions and decisions[pid] != value:
+            raise ValueError(
+                f"pid {pid} labelled decision {decisions[pid]!r} but returned "
+                f"{value!r}; algorithm instrumentation is inconsistent"
+            )
+        decisions.setdefault(pid, value)
+    return decisions
+
+
+def check_consensus(
+    result: RunResult,
+    inputs: Dict[int, Any],
+    require_termination: bool = True,
+    expected_decided: Optional[Iterable[int]] = None,
+) -> ConsensusVerdict:
+    """Check an execution against the consensus specification.
+
+    Parameters
+    ----------
+    result:
+        The finished run.
+    inputs:
+        pid -> proposed value (validity is judged against these).
+    require_termination:
+        When true, every nonfaulty process must have decided.  Pass false
+        for runs under unbounded timing failures, where only safety is
+        promised.
+    expected_decided:
+        Overrides the set of pids required to decide (defaults to every
+        spawned, non-crashed pid).
+    """
+    violations: List[str] = []
+    decisions = _decided_values(result)
+
+    legal_values: Set[Any] = set(inputs.values())
+    valid = True
+    for pid, value in sorted(decisions.items()):
+        if value not in legal_values:
+            valid = False
+            violations.append(
+                f"validity: pid {pid} decided {value!r}, which no process proposed "
+                f"(inputs: {inputs!r})"
+            )
+
+    agreed = True
+    distinct: Dict[Any, int] = {}
+    for pid, value in sorted(decisions.items()):
+        distinct.setdefault(value, pid)
+    if len(distinct) > 1:
+        agreed = False
+        violations.append(
+            f"agreement: conflicting decisions {dict(sorted(decisions.items()))!r}"
+        )
+
+    if expected_decided is None:
+        expected = {
+            pid
+            for pid, proc in result.processes.items()
+            if proc.state is not ProcessState.CRASHED
+        }
+    else:
+        expected = set(expected_decided)
+    missing = sorted(expected - set(decisions))
+    terminated = not missing
+    if require_termination and missing:
+        violations.append(
+            f"termination: pids {missing} never decided "
+            f"(run status: {result.status.value})"
+        )
+    if not require_termination:
+        # Termination was not demanded; report it truthfully but do not
+        # count missing decisions as violations.
+        violations = [v for v in violations if not v.startswith("termination:")]
+
+    return ConsensusVerdict(
+        valid=valid,
+        agreed=agreed,
+        terminated=terminated,
+        decisions=dict(sorted(decisions.items())),
+        violations=violations,
+    )

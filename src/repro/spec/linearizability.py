@@ -1,0 +1,231 @@
+"""Linearizability checking (Wing & Gong / Lowe-style, with memoization).
+
+Used to validate the wait-free objects built from time-resilient consensus
+(test-and-set, the universal construction's queues/stacks/counters): every
+concurrent history an execution produces must be explainable by some
+sequential execution of the object's specification that respects real-time
+order.
+
+The checker is exponential in the worst case but memoizes on
+(remaining-operation set, abstract state), which makes the histories our
+tests produce (tens of operations, small state spaces) cheap to verify.
+
+Crashed processes may leave an invocation without a response; such
+*pending* operations may have taken effect or not.  Pass them via
+``pending`` and the checker will consider both possibilities, computing
+their (unconstrained) results from the model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .histories import History, Operation
+
+__all__ = [
+    "SequentialModel",
+    "ConsensusModel",
+    "TestAndSetModel",
+    "QueueModel",
+    "StackModel",
+    "CounterModel",
+    "RegisterModel",
+    "LinearizabilityResult",
+    "check_linearizability",
+]
+
+
+class SequentialModel(ABC):
+    """A sequential object specification.
+
+    ``apply`` must be pure: it returns the new state and the operation's
+    result without mutating the input state.  States must be hashable (or
+    override :meth:`freeze`).
+    """
+
+    @abstractmethod
+    def initial(self) -> Any:
+        """The object's initial abstract state."""
+
+    @abstractmethod
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        """Apply one operation: returns ``(new_state, result)``."""
+
+    def freeze(self, state: Any) -> Hashable:
+        """A hashable digest of a state (identity by default)."""
+        return state
+
+
+class ConsensusModel(SequentialModel):
+    """One-shot consensus: the first ``propose`` fixes the decision."""
+
+    def initial(self) -> Any:
+        return None  # no decision yet
+
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if name != "propose":
+            raise ValueError(f"consensus supports only 'propose', got {name!r}")
+        (value,) = args
+        decided = value if state is None else state
+        return decided, decided
+
+
+class TestAndSetModel(SequentialModel):
+    """One-shot test-and-set: exactly one caller wins (gets 0)."""
+
+    def initial(self) -> Any:
+        return 0
+
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if name != "test_and_set":
+            raise ValueError(f"TAS supports only 'test_and_set', got {name!r}")
+        return 1, state
+
+
+class QueueModel(SequentialModel):
+    """FIFO queue with ``enqueue(v)`` and ``dequeue() -> v | None``."""
+
+    def initial(self) -> Any:
+        return ()
+
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if name == "enqueue":
+            (value,) = args
+            return state + (value,), None
+        if name == "dequeue":
+            if not state:
+                return state, None
+            return state[1:], state[0]
+        raise ValueError(f"queue does not support {name!r}")
+
+
+class StackModel(SequentialModel):
+    """LIFO stack with ``push(v)`` and ``pop() -> v | None``."""
+
+    def initial(self) -> Any:
+        return ()
+
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if name == "push":
+            (value,) = args
+            return state + (value,), None
+        if name == "pop":
+            if not state:
+                return state, None
+            return state[:-1], state[-1]
+        raise ValueError(f"stack does not support {name!r}")
+
+
+class CounterModel(SequentialModel):
+    """Counter with ``increment() -> previous`` and ``read() -> value``."""
+
+    def initial(self) -> Any:
+        return 0
+
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if name == "increment":
+            return state + 1, state
+        if name == "read":
+            return state, state
+        raise ValueError(f"counter does not support {name!r}")
+
+
+class RegisterModel(SequentialModel):
+    """Read/write register with ``write(v)`` and ``read() -> v``."""
+
+    def __init__(self, initial: Any = 0) -> None:
+        self._initial = initial
+
+    def initial(self) -> Any:
+        return self._initial
+
+    def apply(self, state: Any, name: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        if name == "write":
+            (value,) = args
+            return value, None
+        if name == "read":
+            return state, state
+        raise ValueError(f"register does not support {name!r}")
+
+
+@dataclass
+class LinearizabilityResult:
+    """Outcome of a linearizability check."""
+
+    ok: bool
+    witness: Optional[List[Operation]] = None  # a legal sequential order
+    explored: int = 0  # search nodes visited
+
+    def __repr__(self) -> str:
+        status = "linearizable" if self.ok else "NOT linearizable"
+        return f"LinearizabilityResult({status}, explored={self.explored})"
+
+
+def check_linearizability(
+    history: History,
+    model: SequentialModel,
+    pending: Sequence[Operation] = (),
+    max_nodes: int = 2_000_000,
+) -> LinearizabilityResult:
+    """Decide whether ``history`` is linearizable w.r.t. ``model``.
+
+    ``pending`` operations (no response observed — crashed callers) may be
+    linearized at any point after their invocation, with any result, or
+    not at all.
+
+    Raises :class:`RuntimeError` when the search exceeds ``max_nodes``
+    (never observed on the test workloads; the bound guards against
+    pathological inputs).
+    """
+    if not history.per_pid_well_formed():
+        raise ValueError("history is not per-process sequential")
+
+    complete = list(history.operations)
+    maybe = list(pending)
+    all_ops = complete + maybe
+    ids = {id(op): i for i, op in enumerate(all_ops)}
+    n_complete = len(complete)
+
+    # responded[i]: +inf for pending ops — they never force an order.
+    responded = [op.responded for op in complete] + [float("inf")] * len(maybe)
+    invoked = [op.invoked for op in all_ops]
+
+    seen: Set[Tuple[frozenset, Hashable]] = set()
+    explored = 0
+
+    def candidates(remaining: frozenset) -> List[int]:
+        # i is a candidate iff no remaining j responded before i was invoked.
+        min_response = min((responded[j] for j in remaining), default=float("inf"))
+        return [i for i in remaining if invoked[i] <= min_response]
+
+    def dfs(remaining: frozenset, state: Any, order: List[int]) -> Optional[List[int]]:
+        nonlocal explored
+        explored += 1
+        if explored > max_nodes:
+            raise RuntimeError(
+                f"linearizability search exceeded {max_nodes} nodes"
+            )
+        if all(i >= n_complete for i in remaining):
+            return order  # every complete op linearized; pending ops may drop
+        key = (remaining, model.freeze(state))
+        if key in seen:
+            return None
+        seen.add(key)
+        for i in candidates(remaining):
+            op = all_ops[i]
+            new_state, result = model.apply(state, op.name, op.args)
+            if i < n_complete and result != op.result:
+                continue
+            found = dfs(remaining - {i}, new_state, order + [i])
+            if found is not None:
+                return found
+        return None
+
+    initial_remaining = frozenset(range(len(all_ops)))
+    found = dfs(initial_remaining, model.initial(), [])
+    if found is None:
+        return LinearizabilityResult(ok=False, explored=explored)
+    witness = [all_ops[i] for i in found]
+    return LinearizabilityResult(ok=True, witness=witness, explored=explored)

@@ -1,0 +1,34 @@
+"""Explicit-state model checking of the algorithms under full asynchrony.
+
+Safety under arbitrary asynchrony *is* safety under timing failures —
+this package machine-checks the paper's safety theorems on small
+configurations and machine-finds Fischer's violation (experiments E6 and
+E13).
+"""
+
+from .explorer import ExplorationResult, Violation, explore, replay_schedule
+from .fuzz import FuzzResult, fuzz
+from .properties import (
+    AgreementProperty,
+    InvariantProperty,
+    MutualExclusionProperty,
+    SafetyProperty,
+    ValidityProperty,
+)
+from .sandbox import ProgramFactory, Sandbox
+
+__all__ = [
+    "Sandbox",
+    "ProgramFactory",
+    "explore",
+    "replay_schedule",
+    "ExplorationResult",
+    "Violation",
+    "FuzzResult",
+    "fuzz",
+    "SafetyProperty",
+    "MutualExclusionProperty",
+    "AgreementProperty",
+    "ValidityProperty",
+    "InvariantProperty",
+]

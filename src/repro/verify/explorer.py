@@ -1,0 +1,171 @@
+"""Explicit-state exploration of all interleavings.
+
+The paper's safety theorems quantify over every execution, including ones
+where timing failures strike at the worst instants.  Under the sandbox's
+asynchronous semantics (delays provide nothing), *every interleaving of
+shared steps* is exactly that quantifier — so exhaustively exploring
+interleavings of small configurations machine-checks Theorems 2.2/2.3 and
+Algorithm 3's mutual exclusion, and machine-*finds* Fischer's violation.
+
+Exploration is depth-first over schedules (sequences of pids).  Python
+generators cannot be forked, so each visited node re-executes the
+programs from scratch along its schedule prefix — O(depth) per node —
+with two prunings that keep small configurations tractable:
+
+* **fingerprint memoization** — sound, see
+  :meth:`repro.verify.sandbox.Sandbox.fingerprint`;
+* a per-process operation bound (``max_ops``) — necessary because e.g.
+  consensus under adversarial asynchrony legitimately runs forever (FLP);
+  bounded exploration checks safety of every execution prefix up to the
+  bound.
+
+:func:`explore` returns statistics plus every violation found, each with
+the exact schedule that produced it (replayable with
+:func:`replay_schedule` for debugging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .properties import SafetyProperty
+from .sandbox import ProgramFactory, Sandbox
+
+__all__ = ["Violation", "ExplorationResult", "explore", "replay_schedule"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A safety violation and the schedule that produced it."""
+
+    property_name: str
+    message: str
+    schedule: Tuple[int, ...]
+
+    def __repr__(self) -> str:
+        return (
+            f"Violation({self.property_name}: {self.message}; "
+            f"schedule={list(self.schedule)})"
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive exploration."""
+
+    states: int
+    transitions: int
+    max_depth: int
+    violations: List[Violation] = field(default_factory=list)
+    complete: bool = True  # False when state/violation limits stopped it
+    terminal_states: int = 0  # states where no process could step
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"ExplorationResult({status}, states={self.states}, "
+            f"transitions={self.transitions}, max_depth={self.max_depth}, "
+            f"complete={self.complete})"
+        )
+
+
+def replay_schedule(
+    factories: Dict[int, ProgramFactory], schedule: Sequence[int], max_ops: int
+) -> Sandbox:
+    """Re-execute a schedule (e.g. one attached to a violation)."""
+    sandbox = Sandbox(factories, max_ops=max_ops)
+    for pid in schedule:
+        sandbox.step(pid)
+    return sandbox
+
+
+def explore(
+    factories: Dict[int, ProgramFactory],
+    properties: Sequence[SafetyProperty],
+    max_ops: int = 60,
+    max_states: int = 500_000,
+    stop_at_first_violation: bool = True,
+    on_terminal: Optional[Callable[[Sandbox], Optional[str]]] = None,
+) -> ExplorationResult:
+    """Exhaustively explore all interleavings of the given programs.
+
+    Parameters
+    ----------
+    factories:
+        pid -> factory producing a *fresh* program for that pid.
+    properties:
+        Safety properties checked at every reached state.
+    max_ops:
+        Per-process shared-step bound (processes park there).
+    max_states:
+        Hard cap on distinct states; exceeding it marks the result
+        incomplete rather than raising.
+    stop_at_first_violation:
+        Stop early (with ``complete=False``) once any violation is found.
+    on_terminal:
+        Optional extra check invoked at quiescent states (all processes
+        done or parked) — e.g. "all processes decided" for termination
+        claims under bounded schedules.
+    """
+    result = ExplorationResult(states=0, transitions=0, max_depth=0)
+    seen: Set[Hashable] = set()
+
+    def visit(schedule: List[int]) -> bool:
+        """DFS; returns False to abort the whole search."""
+        sandbox = Sandbox(factories, max_ops=max_ops)
+        for pid in schedule:
+            sandbox.step(pid)
+        fingerprint = sandbox.fingerprint()
+        if fingerprint in seen:
+            return True
+        seen.add(fingerprint)
+        result.states += 1
+        result.max_depth = max(result.max_depth, len(schedule))
+        if result.states > max_states:
+            result.complete = False
+            return False
+
+        for prop in properties:
+            message = prop.check(sandbox)
+            if message is not None:
+                result.violations.append(
+                    Violation(prop.name, message, tuple(schedule))
+                )
+                if stop_at_first_violation:
+                    result.complete = False
+                    return False
+
+        enabled = sandbox.enabled()
+        if not enabled:
+            result.terminal_states += 1
+            if on_terminal is not None:
+                message = on_terminal(sandbox)
+                if message is not None:
+                    result.violations.append(
+                        Violation("terminal", message, tuple(schedule))
+                    )
+                    if stop_at_first_violation:
+                        result.complete = False
+                        return False
+            return True
+        for pid in enabled:
+            result.transitions += 1
+            if not visit(schedule + [pid]):
+                return False
+        return True
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    # Depth can reach n_processes * max_ops; give the recursion room.
+    sys.setrecursionlimit(max(old_limit, 10_000))
+    try:
+        visit([])
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return result

@@ -1,0 +1,96 @@
+"""Safety properties checked at every explored state.
+
+A property inspects a :class:`~repro.verify.sandbox.Sandbox` and returns
+``None`` (fine) or a violation message.  The properties below cover the
+paper's safety claims:
+
+* :class:`MutualExclusionProperty` — at most one process in its critical
+  section (Algorithm 3's stabilization; Fischer's famous failure);
+* :class:`AgreementProperty` — no conflicting decisions (Theorem 2.3);
+* :class:`ValidityProperty` — decisions are proposals (Theorem 2.2);
+* :class:`InvariantProperty` — arbitrary user predicates over memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from .sandbox import Sandbox
+
+__all__ = [
+    "SafetyProperty",
+    "MutualExclusionProperty",
+    "AgreementProperty",
+    "ValidityProperty",
+    "InvariantProperty",
+]
+
+
+class SafetyProperty:
+    """Base class: override :meth:`check`."""
+
+    name = "property"
+
+    def check(self, sandbox: Sandbox) -> Optional[str]:
+        raise NotImplementedError
+
+
+class MutualExclusionProperty(SafetyProperty):
+    """No two processes simultaneously inside their critical sections."""
+
+    name = "mutual_exclusion"
+
+    def check(self, sandbox: Sandbox) -> Optional[str]:
+        if len(sandbox.in_cs) > 1:
+            return f"processes {sorted(sandbox.in_cs)} are in the CS together"
+        return None
+
+
+class AgreementProperty(SafetyProperty):
+    """All decisions (``DECIDED`` labels) carry the same value."""
+
+    name = "agreement"
+
+    def check(self, sandbox: Sandbox) -> Optional[str]:
+        values = set(sandbox.decisions.values())
+        if len(values) > 1:
+            return f"conflicting decisions: {dict(sorted(sandbox.decisions.items()))}"
+        return None
+
+
+class ValidityProperty(SafetyProperty):
+    """Every decision is one of the declared inputs."""
+
+    name = "validity"
+
+    def __init__(self, inputs: Dict[int, Any]) -> None:
+        self.legal = set(inputs.values())
+        self.inputs = dict(inputs)
+
+    def check(self, sandbox: Sandbox) -> Optional[str]:
+        for pid, value in sandbox.decisions.items():
+            if value not in self.legal:
+                return (
+                    f"pid {pid} decided {value!r}, not among inputs "
+                    f"{self.inputs!r}"
+                )
+        return None
+
+
+class InvariantProperty(SafetyProperty):
+    """A user predicate over the sandbox; message returned on failure."""
+
+    def __init__(
+        self,
+        predicate: Callable[[Sandbox], bool],
+        name: str = "invariant",
+        message: str = "invariant violated",
+    ) -> None:
+        self.predicate = predicate
+        self.name = name
+        self.message = message
+
+    def check(self, sandbox: Sandbox) -> Optional[str]:
+        if not self.predicate(sandbox):
+            return self.message
+        return None

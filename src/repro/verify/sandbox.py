@@ -1,0 +1,203 @@
+"""Replayable asynchronous semantics for generator programs.
+
+The model checker explores *arbitrary interleavings of shared-memory
+steps* — the fully asynchronous semantics in which timing failures may
+strike at any moment.  Accordingly:
+
+* ``Read``/``Write`` are the scheduling points (one transition each);
+* ``delay(d)`` is a no-op: under timing failures a delay provides no
+  synchronization guarantee whatsoever, which is exactly what makes
+  checking this semantics equivalent to checking "safety during timing
+  failures";
+* ``LocalWork`` with positive duration is a *pause point*: the process
+  parks there for one transition.  This makes critical-section occupancy
+  (which is bracketed by labels around a ``LocalWork`` body) an
+  observable state — a zero-duration CS would otherwise be entered and
+  left within a single advance and no interleaving could ever witness two
+  processes inside.  Zero-duration local work is skipped;
+* ``Label`` updates the observer state (critical-section occupancy,
+  decisions) without consuming a transition.
+
+Python generators cannot be forked, so exploration re-executes programs
+from scratch along each schedule prefix (see
+:mod:`repro.verify.explorer`).  A :class:`Sandbox` is one such execution:
+feed it pids with :meth:`step` and inspect the resulting state.
+
+Soundness of fingerprint memoization: a deterministic program's future
+behaviour is a function of the sequence of values its reads returned, so
+``(memory contents, per-process read histories, per-process liveness)``
+fully determines the reachable futures.  :meth:`fingerprint` returns
+exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+from ..sim import ops as op_defs
+from ..sim.ops import Delay, Label, LocalWork, Op, Read, ReadModifyWrite, Write
+from ..sim.registers import Memory, _freeze
+
+__all__ = ["Sandbox", "ProgramFactory"]
+
+# A factory producing a fresh program for a pid (replays need fresh
+# generators every time).
+ProgramFactory = Callable[[int], Any]
+
+# How many consecutive non-shared operations a program may execute before
+# the sandbox declares it livelocked (labels/delays in a tight loop).
+_MAX_NONSHARED_RUN = 10_000
+
+
+class Sandbox:
+    """One asynchronous execution, driven step by step."""
+
+    def __init__(self, factories: Dict[int, ProgramFactory], max_ops: int) -> None:
+        if max_ops < 1:
+            raise ValueError(f"max_ops must be >= 1, got {max_ops}")
+        self.memory = Memory()
+        self.max_ops = max_ops
+        self._programs: Dict[int, Any] = {}
+        self._pending: Dict[int, Optional[Op]] = {}
+        self._read_history: Dict[int, List[Hashable]] = {}
+        self._op_count: Dict[int, int] = {}
+        self._done: Dict[int, bool] = {}
+        self._results: Dict[int, Any] = {}
+        self.in_cs: Set[int] = set()
+        self.decisions: Dict[int, Any] = {}
+        self.labels_seen: List[Tuple[int, str, Any]] = []
+        for pid, factory in factories.items():
+            self._programs[pid] = factory(pid)
+            self._pending[pid] = None
+            self._read_history[pid] = []
+            self._op_count[pid] = 0
+            self._done[pid] = False
+            self._advance(pid, None)
+
+    # -- driving -----------------------------------------------------------
+
+    def enabled(self) -> List[int]:
+        """Pids that can take a shared step right now."""
+        return sorted(
+            pid
+            for pid, op in self._pending.items()
+            if op is not None and self._op_count[pid] < self.max_ops
+        )
+
+    def suspended(self) -> List[int]:
+        """Pids stopped only by the per-process op bound."""
+        return sorted(
+            pid
+            for pid, op in self._pending.items()
+            if op is not None and self._op_count[pid] >= self.max_ops
+        )
+
+    def step(self, pid: int) -> None:
+        """Execute ``pid``'s pending shared step (its linearization)."""
+        op = self._pending.get(pid)
+        if op is None:
+            raise ValueError(f"pid {pid} has no pending step (done or unknown)")
+        if self._op_count[pid] >= self.max_ops:
+            raise ValueError(f"pid {pid} is suspended at the op bound")
+        self._op_count[pid] += 1
+        if isinstance(op, Read):
+            value = self.memory.read(op.register)
+            self._read_history[pid].append(_freeze(value))
+            self._advance(pid, value)
+        elif isinstance(op, Write):
+            self.memory.write(op.register, op.value)
+            self._advance(pid, None)
+        elif isinstance(op, ReadModifyWrite):
+            result = self.memory.rmw(op.register, op.transform)
+            # An RMW's result re-enters the program like a read's value, so
+            # it must join the read history for fingerprint soundness.
+            self._read_history[pid].append(_freeze(result))
+            self._advance(pid, result)
+        elif isinstance(op, LocalWork):
+            self._advance(pid, None)  # the pause ends; no memory effect
+        else:  # pragma: no cover - _advance parks only Read/Write/LocalWork
+            raise AssertionError(f"pending op must be steppable, got {op!r}")
+
+    def _advance(self, pid: int, send_value: Any) -> None:
+        """Run ``pid`` forward to its next shared op (or to completion)."""
+        program = self._programs[pid]
+        for _ in range(_MAX_NONSHARED_RUN):
+            try:
+                op = program.send(send_value)
+            except StopIteration as stop:
+                self._pending[pid] = None
+                self._done[pid] = True
+                self._results[pid] = stop.value
+                return
+            if isinstance(op, (Read, Write, ReadModifyWrite)):
+                self._pending[pid] = op
+                return
+            if isinstance(op, LocalWork) and op.duration > 0:
+                self._pending[pid] = op  # pause point (e.g. the CS body)
+                return
+            if isinstance(op, Label):
+                self._observe_label(pid, op)
+            elif isinstance(op, (Delay, LocalWork)):
+                pass  # no guarantee under asynchrony: skip
+            else:
+                raise TypeError(f"pid {pid} yielded a non-operation: {op!r}")
+            send_value = None
+        raise RuntimeError(
+            f"pid {pid} executed {_MAX_NONSHARED_RUN} consecutive non-shared "
+            f"operations: livelock in local code"
+        )
+
+    def _observe_label(self, pid: int, label: Label) -> None:
+        self.labels_seen.append((pid, label.kind, label.payload))
+        if label.kind == op_defs.CS_ENTER:
+            if pid in self.in_cs:
+                raise RuntimeError(f"pid {pid} entered CS twice without exiting")
+            self.in_cs.add(pid)
+        elif label.kind == op_defs.CS_EXIT:
+            self.in_cs.discard(pid)
+        elif label.kind == op_defs.DECIDED:
+            self.decisions.setdefault(pid, label.payload)
+
+    # -- inspection ----------------------------------------------------------
+
+    def done(self, pid: int) -> bool:
+        return self._done[pid]
+
+    def all_quiescent(self) -> bool:
+        """True when no process can take another step (done or suspended)."""
+        return not self.enabled()
+
+    def result(self, pid: int) -> Any:
+        return self._results.get(pid)
+
+    @property
+    def results(self) -> Dict[int, Any]:
+        return dict(self._results)
+
+    def op_count(self, pid: int) -> int:
+        return self._op_count[pid]
+
+    def fingerprint(self) -> Hashable:
+        """A sound digest: equal fingerprints have identical futures.
+
+        A deterministic program's position is a function of the values its
+        reads returned *and* the number of transitions it consumed (pause
+        points advance the position without touching memory, so the op
+        count is not derivable from the read history alone).
+        """
+        procs = tuple(
+            (
+                pid,
+                self._done[pid],
+                self._op_count[pid],
+                tuple(self._read_history[pid]),
+            )
+            for pid in sorted(self._programs)
+        )
+        return (self.memory.fingerprint(), procs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Sandbox(enabled={self.enabled()}, done="
+            f"{sorted(p for p, d in self._done.items() if d)})"
+        )

@@ -1,0 +1,17 @@
+"""Seeded workload generators (inputs, arrivals, failure mixes)."""
+
+from .generators import (
+    MutexWorkload,
+    arrival_times,
+    consensus_inputs,
+    failure_mix,
+    timing_for,
+)
+
+__all__ = [
+    "consensus_inputs",
+    "arrival_times",
+    "MutexWorkload",
+    "failure_mix",
+    "timing_for",
+]

@@ -1,0 +1,142 @@
+"""Workload generators for the experiments and examples.
+
+Everything is seeded and pure-data: a workload describes inputs, arrival
+times, contention profiles and failure mixes; the experiment drivers turn
+them into engine runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..sim.failures import TimingFailureWindow, failure_window
+from ..sim.timing import (
+    ConstantTiming,
+    FailureWindowTiming,
+    TimingModel,
+    UniformTiming,
+)
+
+__all__ = [
+    "consensus_inputs",
+    "arrival_times",
+    "MutexWorkload",
+    "failure_mix",
+    "timing_for",
+]
+
+
+def consensus_inputs(n: int, pattern: str = "split", seed: int = 0) -> List[int]:
+    """Binary proposal vectors.
+
+    Patterns: ``unanimous0``, ``unanimous1``, ``split`` (alternating — the
+    maximally conflicted deterministic vector), ``random``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if pattern == "unanimous0":
+        return [0] * n
+    if pattern == "unanimous1":
+        return [1] * n
+    if pattern == "split":
+        return [i % 2 for i in range(n)]
+    if pattern == "random":
+        rng = random.Random(seed)
+        return [rng.randint(0, 1) for _ in range(n)]
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+def arrival_times(
+    n: int, pattern: str = "burst", spacing: float = 1.0, seed: int = 0
+) -> List[float]:
+    """Process start times.
+
+    Patterns: ``burst`` (all at 0 — maximal contention), ``staggered``
+    (fixed spacing), ``poisson`` (exponential gaps with mean ``spacing``).
+    """
+    if pattern == "burst":
+        return [0.0] * n
+    if pattern == "staggered":
+        return [i * spacing for i in range(n)]
+    if pattern == "poisson":
+        rng = random.Random(seed)
+        t = 0.0
+        out = []
+        for _ in range(n):
+            out.append(t)
+            t += rng.expovariate(1.0 / spacing)
+        return out
+    raise ValueError(f"unknown pattern {pattern!r}")
+
+
+@dataclass(frozen=True)
+class MutexWorkload:
+    """A long-lived lock workload: n sessions with CS/NCS think times."""
+
+    n: int
+    sessions: int
+    cs_duration: float = 0.2
+    ncs_duration: float = 0.3
+    arrivals: str = "burst"
+    arrival_spacing: float = 1.0
+    seed: int = 0
+
+    def starts(self) -> List[float]:
+        return arrival_times(self.n, self.arrivals, self.arrival_spacing, self.seed)
+
+
+def failure_mix(
+    kind: str,
+    delta: float,
+    seed: int = 0,
+    horizon: float = 50.0,
+) -> List[TimingFailureWindow]:
+    """Canonical failure-window mixes used across experiments.
+
+    Kinds: ``none``, ``single_burst`` (one system-wide window),
+    ``targeted`` (one process slowed hard), ``scattered`` (several short
+    windows over the horizon).
+    """
+    if kind == "none":
+        return []
+    if kind == "single_burst":
+        return [failure_window(2.0, 2.0 + 6.0 * delta, stretch=25.0)]
+    if kind == "targeted":
+        return [failure_window(0.0, 8.0 * delta, pids=[0], duration=8.0 * delta)]
+    if kind == "scattered":
+        rng = random.Random(seed)
+        windows = []
+        t = 0.0
+        while t < horizon:
+            t += rng.uniform(2.0, 8.0)
+            length = rng.uniform(0.5, 3.0) * delta
+            windows.append(failure_window(t, t + length, stretch=rng.uniform(5, 30)))
+            t += length
+        return windows
+    raise ValueError(f"unknown failure mix {kind!r}")
+
+
+def timing_for(
+    delta: float,
+    base: str = "constant",
+    failures: str = "none",
+    seed: int = 0,
+    step_fraction: float = 0.8,
+) -> TimingModel:
+    """Assemble a timing model: a base profile plus a failure mix.
+
+    ``base``: ``constant`` (steps at ``step_fraction·Δ``) or ``jitter``
+    (uniform in ``[0.05·Δ, Δ]``).
+    """
+    if base == "constant":
+        model: TimingModel = ConstantTiming(step_fraction * delta)
+    elif base == "jitter":
+        model = UniformTiming(0.05 * delta, delta, seed=seed)
+    else:
+        raise ValueError(f"unknown base {base!r}")
+    windows = failure_mix(failures, delta, seed=seed)
+    if windows:
+        model = FailureWindowTiming(model, windows)
+    return model

@@ -1,0 +1,99 @@
+"""Tests specific to the bakery algorithms (classic and black-white)."""
+
+import pytest
+
+from repro.algorithms import (
+    BLACK,
+    WHITE,
+    BakeryLock,
+    BlackWhiteBakeryLock,
+    mutex_session,
+)
+from repro.sim import AsynchronousTiming, ConstantTiming, Engine, RunStatus, UniformTiming
+from repro.spec import check_mutual_exclusion, max_bypass
+
+
+def run(lock, n, sessions=3, timing=None, cs=0.2, ncs=0.3, max_time=100_000.0):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4), max_time=max_time)
+    for pid in range(n):
+        eng.spawn(
+            mutex_session(lock, pid, sessions, cs_duration=cs, ncs_duration=ncs),
+            pid=pid,
+        )
+    return eng.run()
+
+
+class TestClassicBakery:
+    def test_fifo_fairness_bypass_at_most_n(self):
+        n = 4
+        res = run(BakeryLock(n), n, sessions=4, timing=UniformTiming(0.1, 0.9, seed=3))
+        assert res.status is RunStatus.COMPLETED
+        worst, _ = max_bypass(res.trace)
+        # Bakery is FIFO after the doorway: bypass bounded by n - 1 plus
+        # doorway races.
+        assert worst <= 2 * n
+
+    def test_tickets_grow_unboundedly(self):
+        """The classic bakery's known drawback: tickets keep increasing."""
+        n = 3
+        lock = BakeryLock(n)
+        res = run(lock, n, sessions=6, cs=0.1, ncs=0.0)
+        max_ticket = max(
+            (e.value for e in res.trace
+             if e.kind == "write" and isinstance(e.register, tuple)
+             and e.register[0] == lock.number.base and e.value),
+            default=0,
+        )
+        assert max_ticket > n  # grows past n, unlike the black-white variant
+
+    def test_number_reset_on_exit(self):
+        lock = BakeryLock(2)
+        res = run(lock, 2, sessions=1)
+        assert res.memory.peek(lock.number[0]) == 0
+        assert res.memory.peek(lock.number[1]) == 0
+
+
+class TestBlackWhiteBakery:
+    def test_exclusion_asynchronous(self):
+        n = 4
+        res = run(
+            BlackWhiteBakeryLock(n), n, sessions=3,
+            timing=AsynchronousTiming(base=0.3, tail_prob=0.3, seed=5),
+        )
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_tickets_bounded_by_n(self):
+        """The whole point of the black-white variant (bounded space)."""
+        n = 4
+        lock = BlackWhiteBakeryLock(n)
+        res = run(lock, n, sessions=8, cs=0.1, ncs=0.0)
+        tickets = [
+            e.value for e in res.trace
+            if e.kind == "write" and isinstance(e.register, tuple)
+            and e.register[0] == lock.number.base and e.value
+        ]
+        assert tickets and max(tickets) <= n
+
+    def test_color_flips_on_exit(self):
+        lock = BlackWhiteBakeryLock(2)
+        res = run(lock, 1, sessions=1)
+        assert res.memory.peek(lock.color) == WHITE  # started BLACK, one exit
+
+    def test_two_exits_flip_back(self):
+        lock = BlackWhiteBakeryLock(2)
+        res = run(lock, 1, sessions=2)
+        assert res.memory.peek(lock.color) == BLACK
+
+    def test_bounded_bypass(self):
+        n = 4
+        res = run(
+            BlackWhiteBakeryLock(n), n, sessions=4,
+            timing=UniformTiming(0.1, 0.9, seed=8),
+        )
+        worst, _ = max_bypass(res.trace)
+        assert worst <= 3 * n
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            BlackWhiteBakeryLock(0)

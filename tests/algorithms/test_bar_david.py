@@ -1,0 +1,133 @@
+"""Tests for the Bar-David starvation-freedom transformation."""
+
+import pytest
+
+from repro.algorithms import (
+    BakeryLock,
+    BarDavidLock,
+    LamportFastLock,
+    mutex_session,
+)
+from repro.sim import (
+    AsynchronousTiming,
+    ConstantTiming,
+    Engine,
+    PidOrderTieBreak,
+    RunStatus,
+    UniformTiming,
+)
+from repro.spec import check_mutual_exclusion, check_starvation, max_bypass
+
+
+def make(n):
+    return BarDavidLock(LamportFastLock(n), n)
+
+
+def run(lock, n, sessions=3, timing=None, cs=0.2, ncs=0.3, max_time=100_000.0,
+        tie=None):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4), max_time=max_time,
+                 tie_break=tie)
+    for pid in range(n):
+        eng.spawn(
+            mutex_session(lock, pid, sessions, cs_duration=cs, ncs_duration=ncs),
+            pid=pid,
+        )
+    return eng.run()
+
+
+def test_exclusion_inherited_from_inner():
+    res = run(make(4), 4, sessions=3, timing=UniformTiming(0.05, 0.95, seed=2))
+    assert res.status is RunStatus.COMPLETED
+    assert check_mutual_exclusion(res.trace) == []
+
+
+def test_starvation_free_under_heavy_asynchrony():
+    n = 4
+    res = run(
+        make(n), n, sessions=4,
+        timing=AsynchronousTiming(base=0.3, tail_prob=0.35, seed=7),
+        max_time=300_000.0,
+    )
+    assert res.status is RunStatus.COMPLETED
+    starved, _ = check_starvation(res.trace, bypass_bound=6 * n)
+    assert starved == []
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_bounded_bypass_many_seeds(seed):
+    n = 3
+    res = run(make(n), n, sessions=4, timing=UniformTiming(0.05, 1.0, seed=seed))
+    assert res.status is RunStatus.COMPLETED
+    worst, _ = max_bypass(res.trace)
+    # The gate hands the turn around cyclically: generous bound 4n.
+    assert worst <= 4 * n, worst
+
+
+def test_solo_exit_is_constant_step():
+    """The contention hint keeps the uncontended exit O(1) — no scan."""
+    def exit_steps(n):
+        lock = make(n)
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.4))
+        eng.spawn(mutex_session(lock, 0, sessions=1), pid=0)
+        res = eng.run()
+        (span,) = res.trace.exit_spans(0)
+        return len(
+            [e for e in res.trace.for_pid(0)
+             if e.is_shared and span[1] < e.completed <= span[2]]
+        )
+
+    assert exit_steps(4) == exit_steps(64)
+
+
+def test_solo_entry_is_constant_step():
+    def entry_steps(n):
+        lock = make(n)
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.4))
+        eng.spawn(mutex_session(lock, 0, sessions=1), pid=0)
+        res = eng.run()
+        (span,) = res.trace.entry_spans(0)
+        return len(
+            [e for e in res.trace.for_pid(0)
+             if e.is_shared and span[1] < e.completed <= span[2]]
+        )
+
+    assert entry_steps(4) == entry_steps(64)
+
+
+def test_wrapping_a_starvation_free_inner_also_works():
+    n = 3
+    lock = BarDavidLock(BakeryLock(n), n)
+    res = run(lock, n, sessions=2)
+    assert res.status is RunStatus.COMPLETED
+    assert check_mutual_exclusion(res.trace) == []
+
+
+def test_requires_deadlock_free_inner():
+    class Fake(LamportFastLock):
+        @property
+        def properties(self):
+            from repro.algorithms.base import MutexProperties
+
+            return MutexProperties(deadlock_free=False)
+
+    with pytest.raises(ValueError, match="deadlock-free"):
+        BarDavidLock(Fake(2), 2)
+
+
+def test_properties_fast_iff_inner_fast():
+    fast = BarDavidLock(LamportFastLock(3), 3)
+    assert fast.properties.fast and fast.properties.starvation_free
+    slow = BarDavidLock(BakeryLock(3), 3)
+    assert not slow.properties.fast and slow.properties.starvation_free
+
+
+def test_adversarial_pid_priority_does_not_starve_low_priority():
+    """Even with a tie-break always favoring pids 1,2 the gate serves 0."""
+    n = 3
+    res = run(
+        make(n), n, sessions=3,
+        timing=ConstantTiming(0.4),
+        tie=PidOrderTieBreak([1, 2, 0]),
+    )
+    assert res.status is RunStatus.COMPLETED
+    assert len(res.trace.cs_intervals(pid=0)) == 3

@@ -1,0 +1,104 @@
+"""Tests for the baseline consensus algorithms (AT one-shot, AAT unknown-Δ)."""
+
+import pytest
+
+from repro.algorithms import AatConsensus, AtConsensus
+from repro.sim import (
+    ConstantTiming,
+    Engine,
+    HookTiming,
+    RunStatus,
+    UniformTiming,
+    stall_write_to,
+)
+from repro.spec import check_consensus
+
+
+def run_at(inputs, timing=None, delta=1.0, algo_delta=None):
+    algo = AtConsensus(delta=algo_delta or delta)
+    eng = Engine(delta=delta, timing=timing or ConstantTiming(0.4))
+    for pid, v in enumerate(inputs):
+        eng.spawn(algo.propose(pid, v), pid=pid)
+    return eng.run(), {pid: v for pid, v in enumerate(inputs)}
+
+
+def run_aat(inputs, timing=None, delta=1.0, est0=0.1, max_time=100_000.0):
+    algo = AatConsensus(initial_estimate=est0)
+    eng = Engine(delta=delta, timing=timing or ConstantTiming(0.4), max_time=max_time)
+    for pid, v in enumerate(inputs):
+        eng.spawn(algo.propose(pid, v), pid=pid)
+    return eng.run(), {pid: v for pid, v in enumerate(inputs)}
+
+
+class TestAtConsensus:
+    def test_agrees_without_failures(self):
+        res, inputs = run_at([0, 1, 1])
+        v = check_consensus(res, inputs)
+        assert v.ok
+
+    def test_always_terminates_constant_steps(self):
+        res, _ = run_at([0, 1])
+        assert res.status is RunStatus.COMPLETED
+        for pid in (0, 1):
+            assert res.trace.shared_step_count(pid) <= 5
+
+    def test_solo_decides_own_value(self):
+        res, inputs = run_at([1])
+        assert res.returns == {0: 1}
+
+    def test_disagreement_under_targeted_timing_failure(self):
+        """The stalled y-write schedule: AT decides conflicting values.
+
+        This is the contrast with Algorithm 1 — same schedule, but
+        Algorithm 1 merely loses a round while AT loses agreement.
+        """
+        algo = AtConsensus(delta=1.0)
+        hook = stall_write_to(algo.y.name, duration=6.0, pids=[0], count=1)
+        eng = Engine(delta=1.0, timing=HookTiming(ConstantTiming(0.4), hook))
+        eng.spawn(algo.propose(0, 0), pid=0)
+        eng.spawn(algo.propose(1, 1), pid=1)
+        res = eng.run()
+        v = check_consensus(res, {0: 0, 1: 1})
+        assert not v.agreed, "AT consensus must lose agreement under this failure"
+
+    def test_rejects_nonbinary(self):
+        algo = AtConsensus(delta=1.0)
+        with pytest.raises(ValueError):
+            list(algo.propose(0, 7))
+
+
+class TestAatConsensus:
+    def test_agrees_with_tiny_initial_estimate(self):
+        res, inputs = run_aat([0, 1, 1, 0], est0=0.01)
+        v = check_consensus(res, inputs)
+        assert v.ok
+
+    def test_estimate_doubles_per_round(self):
+        algo = AatConsensus(initial_estimate=0.5)
+        assert algo.estimate_for_round(1) == 0.5
+        assert algo.estimate_for_round(2) == 1.0
+        assert algo.estimate_for_round(4) == 4.0
+
+    def test_small_estimate_costs_more_rounds_than_good_estimate(self):
+        slow, _ = run_aat([0, 1], est0=0.01)
+        fast, _ = run_aat([0, 1], est0=1.0)
+        slow_delays = len([e for e in slow.trace if e.kind == "delay"])
+        fast_delays = len([e for e in fast.trace if e.kind == "delay"])
+        assert slow_delays >= fast_delays
+
+    def test_safety_under_jitter_many_seeds(self):
+        for seed in range(8):
+            res, inputs = run_aat(
+                [0, 1, 1], timing=UniformTiming(0.05, 1.0, seed=seed), est0=0.05
+            )
+            v = check_consensus(res, inputs, require_termination=False)
+            assert v.safe, seed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AatConsensus(initial_estimate=0)
+        with pytest.raises(ValueError):
+            AatConsensus(initial_estimate=1, growth=1.0)
+        algo = AatConsensus(initial_estimate=1)
+        with pytest.raises(ValueError):
+            list(algo.propose(0, 5))

@@ -1,0 +1,96 @@
+"""Tests specific to Fischer's timing-based lock (Algorithm 2)."""
+
+import pytest
+
+from repro.algorithms import FREE, FischerLock, mutex_session
+from repro.sim import (
+    ConstantTiming,
+    Engine,
+    HookTiming,
+    RunStatus,
+    stall_write_to,
+)
+from repro.spec import check_mutual_exclusion
+
+
+def test_free_sentinel_distinct_from_pid_zero():
+    assert FREE != 0
+
+
+def test_entry_sequence_solo():
+    """Solo doorway: read x, write x, delay(Δ), read x — then enter."""
+    lock = FischerLock(delta=1.0)
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.25))
+    eng.spawn(mutex_session(lock, 0, sessions=1), pid=0)
+    res = eng.run()
+    kinds = [e.kind for e in res.trace.for_pid(0) if e.kind in ("read", "write", "delay")]
+    assert kinds == ["read", "write", "delay", "read", "write"]  # + exit write
+
+
+def test_delay_uses_configured_delta():
+    lock = FischerLock(delta=2.5)
+    eng = Engine(delta=5.0, timing=ConstantTiming(0.25))
+    eng.spawn(mutex_session(lock, 0, sessions=1), pid=0)
+    res = eng.run()
+    delays = [e for e in res.trace if e.kind == "delay"]
+    assert delays and delays[0].duration == 2.5
+
+
+def test_retry_when_doorway_contended():
+    """A process losing the x-race repeats the doorway (the until loop)."""
+    lock = FischerLock(delta=1.0)
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.4))
+    for pid in range(3):
+        eng.spawn(mutex_session(lock, pid, sessions=1, cs_duration=0.2), pid=pid)
+    res = eng.run()
+    assert res.status is RunStatus.COMPLETED
+    assert check_mutual_exclusion(res.trace) == []
+    # Someone must have retried: more than one write to x per CS entry in
+    # at least one doorway.
+    x_writes = [e for e in res.trace if e.kind == "write"]
+    assert len(x_writes) > 2 * 3  # 3 sessions x (doorway write + exit write)
+
+
+def test_exclusion_violated_by_late_write():
+    """The motivating failure: a write stalled past delay(Δ) breaks mutex."""
+    lock = FischerLock(delta=1.0)
+    hook = stall_write_to(lock.x.name, duration=3.0, pids=[0], count=1)
+    eng = Engine(delta=1.0, timing=HookTiming(ConstantTiming(0.4), hook))
+    for pid in range(2):
+        eng.spawn(mutex_session(lock, pid, sessions=1, cs_duration=4.0), pid=pid)
+    res = eng.run()
+    assert check_mutual_exclusion(res.trace), "stall must break Fischer"
+
+
+def test_exclusion_holds_when_stall_within_delta():
+    """A 'stall' still within Δ is not a timing failure: safety holds."""
+    lock = FischerLock(delta=5.0)
+    hook = stall_write_to(lock.x.name, duration=3.0, pids=[0], count=1)
+    eng = Engine(delta=5.0, timing=HookTiming(ConstantTiming(0.4), hook))
+    for pid in range(2):
+        eng.spawn(mutex_session(lock, pid, sessions=1, cs_duration=4.0), pid=pid)
+    res = eng.run()
+    assert res.trace.timing_failures() == []
+    assert check_mutual_exclusion(res.trace) == []
+
+
+def test_one_register_only():
+    lock = FischerLock(delta=1.0)
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.4))
+    for pid in range(4):
+        eng.spawn(mutex_session(lock, pid, sessions=2), pid=pid)
+    res = eng.run()
+    assert res.memory.register_count == 1
+
+
+def test_rejects_nonpositive_delta():
+    with pytest.raises(ValueError):
+        FischerLock(delta=0.0)
+
+
+def test_properties():
+    props = FischerLock(delta=1.0).properties
+    assert props.timing_based
+    assert props.fast
+    assert not props.starvation_free
+    assert not props.exclusion_resilient

@@ -1,0 +1,87 @@
+"""Tests specific to Lamport's fast mutual exclusion algorithm."""
+
+import pytest
+
+from repro.algorithms import FREE, LamportFastLock, mutex_session
+from repro.sim import AsynchronousTiming, ConstantTiming, Engine, RunStatus
+from repro.spec import check_mutual_exclusion
+
+
+def run(lock, n, sessions=2, timing=None, cs=0.2, ncs=0.3, max_time=50_000.0):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4), max_time=max_time)
+    for pid in range(n):
+        eng.spawn(
+            mutex_session(lock, pid, sessions, cs_duration=cs, ncs_duration=ncs),
+            pid=pid,
+        )
+    return eng.run()
+
+
+def test_solo_fast_path_step_count():
+    """Uncontended entry: b[i], x, y-read, y-write, x-read = 5 steps."""
+    lock = LamportFastLock(8)
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.4))
+    eng.spawn(mutex_session(lock, 0, sessions=1), pid=0)
+    res = eng.run()
+    entry_reads_writes = [
+        e
+        for e in res.trace.for_pid(0)
+        if e.is_shared and e.completed <= res.trace.cs_intervals()[0].enter
+    ]
+    assert len(entry_reads_writes) == 5
+
+
+def test_solo_fast_path_independent_of_n():
+    def steps(n):
+        lock = LamportFastLock(n)
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.4))
+        eng.spawn(mutex_session(lock, 0, sessions=1), pid=0)
+        return eng.run().trace.shared_step_count(0)
+
+    assert steps(2) == steps(64)
+
+
+def test_contended_path_scans_b_flags():
+    """Under contention the slow path reads every b[j]."""
+    lock = LamportFastLock(6)
+    res = run(lock, 6, sessions=1, cs=0.5)
+    assert res.status is RunStatus.COMPLETED
+    b_reads = [
+        e for e in res.trace
+        if e.kind == "read" and isinstance(e.register, tuple)
+        and e.register[0] == lock.b.base
+    ]
+    assert len(b_reads) >= 6  # someone scanned all flags
+
+
+def test_exclusion_fully_asynchronous():
+    lock = LamportFastLock(4)
+    res = run(
+        lock, 4, sessions=3,
+        timing=AsynchronousTiming(base=0.3, tail_prob=0.3, seed=11),
+        max_time=200_000.0,
+    )
+    assert res.status is RunStatus.COMPLETED
+    assert check_mutual_exclusion(res.trace) == []
+
+
+def test_exit_resets_y_and_flag():
+    lock = LamportFastLock(2)
+    res = run(lock, 1, sessions=1)
+    assert res.memory.peek(lock.y) == FREE
+    assert res.memory.peek(lock.b[0]) is False
+
+
+def test_deadlock_free_not_starvation_free_claim():
+    props = LamportFastLock(2).properties
+    assert props.deadlock_free and props.fast
+    assert not props.starvation_free
+
+
+def test_register_count():
+    assert LamportFastLock(5).register_count(5) == 7
+
+
+def test_rejects_bad_n():
+    with pytest.raises(ValueError):
+        LamportFastLock(0)

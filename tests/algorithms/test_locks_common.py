@@ -1,0 +1,163 @@
+"""Cross-cutting tests every lock must pass (parametrized suite)."""
+
+import pytest
+
+from repro.sim import (
+    AsynchronousTiming,
+    ConstantTiming,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+)
+from repro.spec import check_mutex, check_mutual_exclusion, check_starvation
+
+from tests.conftest import (
+    ALL_LOCKS,
+    ASYNC_LOCKS,
+    STARVATION_FREE_LOCKS,
+    make_lock,
+    run_lock,
+)
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_exclusion_and_completion_clean_timing(name, n):
+    """With steps within Δ every lock is safe and every session completes."""
+    if name == "peterson2" and n > 2:
+        pytest.skip("2-process lock")
+    lock = make_lock(name, n)
+    res = run_lock(lock, n, sessions=3)
+    assert res.status is RunStatus.COMPLETED, (name, n, res)
+    assert check_mutual_exclusion(res.trace) == []
+    assert len(res.trace.cs_intervals()) == 3 * n
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+def test_solo_process_enters_immediately(name):
+    lock = make_lock(name, 4 if name != "peterson2" else 2)
+    res = run_lock(lock, 1, sessions=2)
+    assert res.status is RunStatus.COMPLETED
+    assert len(res.trace.cs_intervals()) == 2
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_exclusion_under_jitter(name, seed):
+    """Random step times within Δ: safety and completion must hold."""
+    n = 2 if name == "peterson2" else 3
+    lock = make_lock(name, n)
+    res = run_lock(
+        lock,
+        n,
+        sessions=3,
+        timing=UniformTiming(0.05, 1.0, seed=seed),
+        tie_break=RandomTieBreak(seed),
+    )
+    assert res.status is RunStatus.COMPLETED, (name, seed)
+    assert check_mutual_exclusion(res.trace) == []
+
+
+@pytest.mark.parametrize("name", ASYNC_LOCKS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_async_locks_safe_and_live_without_timing(name, seed):
+    """Asynchronous locks need no timing assumption at all."""
+    n = 3
+    lock = make_lock(name, n)
+    res = run_lock(
+        lock,
+        n,
+        sessions=3,
+        timing=AsynchronousTiming(base=0.3, tail_prob=0.25, seed=seed),
+        max_time=100_000.0,
+    )
+    assert res.status is RunStatus.COMPLETED, (name, seed)
+    assert check_mutual_exclusion(res.trace) == []
+
+
+@pytest.mark.parametrize("name", STARVATION_FREE_LOCKS)
+def test_starvation_free_locks_have_bounded_bypass(name):
+    n = 4
+    lock = make_lock(name, n)
+    res = run_lock(lock, n, sessions=4, timing=UniformTiming(0.05, 0.9, seed=9))
+    assert res.status is RunStatus.COMPLETED
+    starved, worst = check_starvation(res.trace, bypass_bound=4 * n)
+    assert starved == []
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+def test_register_count_claims_match_usage(name):
+    """The static register_count must upper-bound what a run touches."""
+    n = 2 if name == "peterson2" else 4
+    lock = make_lock(name, n)
+    res = run_lock(lock, n, sessions=2)
+    claimed = lock.register_count(n)
+    if claimed is not None:
+        assert res.memory.register_count <= claimed, (
+            name,
+            res.memory.touched_registers,
+        )
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+def test_register_count_meets_lower_bound_when_contended(name):
+    """Theorem 3.1 context: n-process algorithms need >= n registers.
+
+    (Fischer has 1 register and is NOT resilient; every asynchronous lock
+    and Algorithm 3's claimed counts must be >= n.)
+    """
+    n = 2 if name == "peterson2" else 4
+    lock = make_lock(name, n)
+    claimed = lock.register_count(n)
+    if name == "fischer":
+        assert claimed == 1  # the exception that proves the theorem's point
+    elif claimed is not None:
+        assert claimed >= n
+
+
+@pytest.mark.parametrize("name", ["fischer", "lamport_fast", "bar_david", "alg3"])
+def test_fast_locks_constant_solo_steps(name):
+    """The paper's 'fast': contention-free entry in O(1) own steps."""
+    lock = make_lock(name, 8)
+    res = run_lock(lock, 1, sessions=1, cs_duration=0.0, ncs_duration=0.0)
+    steps = res.trace.shared_step_count(0)
+    assert steps <= 20, f"{name}: {steps} solo steps is not 'fast'"
+
+
+@pytest.mark.parametrize("name", ["bakery", "black_white_bakery", "filter"])
+def test_scan_locks_solo_steps_grow_with_n(name):
+    """Non-fast locks pay Θ(n) even alone — the contrast in E7."""
+    def solo_steps(n):
+        lock = make_lock(name, n)
+        res = run_lock(lock, 1, sessions=1, cs_duration=0.0, ncs_duration=0.0)
+        return res.trace.shared_step_count(0)
+
+    assert solo_steps(16) > solo_steps(4) + 8
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+def test_staggered_arrivals(name):
+    n = 2 if name == "peterson2" else 3
+    lock = make_lock(name, n)
+    res = run_lock(lock, n, sessions=2, start_delays=[0.0, 2.5, 7.0][:n])
+    assert res.status is RunStatus.COMPLETED
+    assert check_mutual_exclusion(res.trace) == []
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+def test_out_of_range_pid_rejected(name):
+    if name in ("fischer", "alg3"):
+        pytest.skip("id-based locks accept any pid")
+    n = 2 if name == "peterson2" else 3
+    lock = make_lock(name, n)
+    with pytest.raises(ValueError):
+        list(lock.entry(n + 5))
+
+
+@pytest.mark.parametrize("name", ALL_LOCKS)
+def test_properties_declared(name):
+    lock = make_lock(name, 2)
+    props = lock.properties
+    assert props.deadlock_free  # every lock here is at least deadlock-free
+    if props.starvation_free:
+        assert name in STARVATION_FREE_LOCKS or name == "peterson2"

@@ -1,0 +1,133 @@
+"""Tests specific to Peterson's locks and the tournament tree."""
+
+import pytest
+
+from repro.algorithms import FilterLock, PetersonTwoProcess, TournamentLock, mutex_session
+from repro.sim import AsynchronousTiming, ConstantTiming, Engine, RunStatus, UniformTiming
+from repro.spec import check_mutual_exclusion, max_bypass
+from repro.verify import MutualExclusionProperty, explore
+
+
+def run(lock, n, sessions=3, timing=None, max_time=100_000.0):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4), max_time=max_time)
+    for pid in range(n):
+        eng.spawn(mutex_session(lock, pid, sessions, cs_duration=0.2,
+                                ncs_duration=0.2), pid=pid)
+    return eng.run()
+
+
+class TestPetersonTwoProcess:
+    def test_bypass_bound_one(self):
+        lock = PetersonTwoProcess()
+        res = run(lock, 2, sessions=5, timing=UniformTiming(0.05, 1.0, seed=4))
+        assert res.status is RunStatus.COMPLETED
+        worst, _ = max_bypass(res.trace)
+        assert worst <= 2  # Peterson's bound is 1; sessions add slack
+
+    def test_exhaustively_safe(self):
+        lock = PetersonTwoProcess()
+        res = explore(
+            {pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=1.0))
+             for pid in (0, 1)},
+            [MutualExclusionProperty()],
+            max_ops=25,
+        )
+        assert res.ok and res.complete
+
+    def test_exhaustively_safe_two_sessions_bounded(self):
+        """Lock reuse explored to a per-process bound (space is too large
+        for a complete pass; bounded safety still covers every prefix)."""
+        lock = PetersonTwoProcess()
+        res = explore(
+            {pid: (lambda p: mutex_session(lock, p, sessions=2, cs_duration=1.0))
+             for pid in (0, 1)},
+            [MutualExclusionProperty()],
+            max_ops=18,
+        )
+        assert res.ok
+
+    def test_three_registers(self):
+        lock = PetersonTwoProcess()
+        res = run(lock, 2, sessions=2)
+        assert res.memory.register_count == 3
+
+    def test_pid_range(self):
+        with pytest.raises(ValueError):
+            list(PetersonTwoProcess().entry(2))
+
+
+class TestFilterLock:
+    def test_levels_filter_contention(self):
+        n = 4
+        lock = FilterLock(n)
+        res = run(lock, n, sessions=2)
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_single_process_passes_all_levels(self):
+        lock = FilterLock(5)
+        res = run(lock, 1, sessions=1)
+        # 4 levels x (level write + victim write + victim read + scan) ~ O(n^2)
+        assert res.status is RunStatus.COMPLETED
+        assert len(res.trace.cs_intervals()) == 1
+
+    def test_solo_cost_quadratic_shape(self):
+        def steps(n):
+            lock = FilterLock(n)
+            res = run(lock, 1, sessions=1)
+            return res.trace.shared_step_count(0)
+
+        assert steps(8) > 2 * steps(4)
+
+    def test_exclusion_under_asynchrony(self):
+        lock = FilterLock(3)
+        res = run(lock, 3, timing=AsynchronousTiming(0.3, 0.25, seed=6),
+                  max_time=300_000.0)
+        assert check_mutual_exclusion(res.trace) == []
+
+
+class TestTournament:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_exclusion_all_sizes(self, n):
+        lock = TournamentLock(n)
+        res = run(lock, n, sessions=2, timing=UniformTiming(0.05, 1.0, seed=n))
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_path_lengths_logarithmic(self):
+        lock = TournamentLock(8)
+        assert len(lock._path(0)) == 3
+        lock2 = TournamentLock(16)
+        assert len(lock2._path(5)) == 4
+
+    def test_paths_distinct_leaves(self):
+        n = 8
+        lock = TournamentLock(n)
+        leaves = {tuple(lock._path(pid)) for pid in range(n)}
+        assert len(leaves) == n
+
+    def test_solo_entry_log_steps(self):
+        def steps(n):
+            lock = TournamentLock(n)
+            res = run(lock, 1, sessions=1)
+            return res.trace.shared_step_count(0)
+
+        # Θ(log n): quadrupling n adds a constant number of levels.
+        assert steps(16) - steps(4) <= steps(4)
+
+    def test_exhaustively_safe_n2(self):
+        lock = TournamentLock(2)
+        res = explore(
+            {pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=1.0))
+             for pid in (0, 1)},
+            [MutualExclusionProperty()],
+            max_ops=25,
+        )
+        assert res.ok and res.complete
+
+    def test_bounded_bypass(self):
+        n = 4
+        lock = TournamentLock(n)
+        res = run(lock, n, sessions=4, timing=UniformTiming(0.05, 1.0, seed=9))
+        worst, _ = max_bypass(res.trace)
+        assert worst <= 3 * n

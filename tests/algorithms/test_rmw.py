@@ -1,0 +1,181 @@
+"""Tests for read-modify-write primitives and the algorithms over them."""
+
+import pytest
+
+from repro.algorithms import CasConsensus, TicketLock, mutex_session
+from repro.algorithms import TestAndSetLock as TasLock  # avoid pytest collection
+from repro.core.mutex import TimeResilientMutex
+from repro.sim import (
+    AsynchronousTiming,
+    ConstantTiming,
+    Engine,
+    RandomTieBreak,
+    Register,
+    RunStatus,
+    UniformTiming,
+    compare_and_swap,
+    fetch_and_add,
+    get_and_set,
+)
+from repro.sim.registers import Memory, RegisterNamespace
+from repro.spec import check_consensus, check_mutual_exclusion, check_starvation
+from repro.verify import MutualExclusionProperty, explore
+
+
+class TestPrimitives:
+    def test_cas_success_and_failure(self):
+        mem = Memory()
+        r = Register("c", 0)
+        assert mem.rmw(r, compare_and_swap(r, 0, 5).transform) is True
+        assert mem.peek(r) == 5
+        assert mem.rmw(r, compare_and_swap(r, 0, 9).transform) is False
+        assert mem.peek(r) == 5
+
+    def test_faa_returns_old(self):
+        mem = Memory()
+        r = Register("c", 10)
+        assert mem.rmw(r, fetch_and_add(r, 3).transform) == 10
+        assert mem.peek(r) == 13
+
+    def test_gas_swaps(self):
+        mem = Memory()
+        r = Register("c", "a")
+        assert mem.rmw(r, get_and_set(r, "b").transform) == "a"
+        assert mem.peek(r) == "b"
+
+    def test_rmw_counts_as_read_and_write(self):
+        mem = Memory()
+        r = Register("c", 0)
+        mem.rmw(r, fetch_and_add(r).transform)
+        assert mem.read_count == 1 and mem.write_count == 1
+
+    def test_engine_executes_rmw_atomically(self):
+        """Concurrent FAAs never lose updates (unlike read-then-write)."""
+        counter = Register("n", 0)
+
+        def incrementer(pid):
+            old = yield fetch_and_add(counter, 1)
+            return old
+
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+        for pid in range(4):
+            eng.spawn(incrementer(pid), pid=pid)
+        res = eng.run()
+        assert res.memory.peek(counter) == 4
+        assert sorted(res.returns.values()) == [0, 1, 2, 3]
+
+    def test_rmw_marked_as_shared_step_in_trace(self):
+        counter = Register("n", 0)
+
+        def prog(pid):
+            yield fetch_and_add(counter, 1)
+
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+        eng.spawn(prog(0))
+        res = eng.run()
+        assert res.trace.shared_step_count(0) == 1
+        assert res.trace.events[0].kind == "rmw"
+
+
+class TestTicketLock:
+    def run(self, lock, n, sessions=3, timing=None):
+        eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4),
+                     max_time=100_000.0)
+        for pid in range(n):
+            eng.spawn(mutex_session(lock, pid, sessions, cs_duration=0.2,
+                                    ncs_duration=0.1), pid=pid)
+        return eng.run()
+
+    def test_exclusion_and_fifo(self):
+        lock = TicketLock()
+        res = self.run(lock, 4)
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+        starved, worst = check_starvation(res.trace, bypass_bound=8)
+        assert starved == []
+
+    def test_exclusion_asynchronous(self):
+        lock = TicketLock()
+        res = self.run(lock, 3, timing=AsynchronousTiming(0.3, 0.3, seed=2))
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_uncontended_constant_steps(self):
+        lock = TicketLock()
+        res = self.run(lock, 1, sessions=1)
+        assert res.trace.shared_step_count(0) <= 4
+
+    def test_as_embedded_lock_in_algorithm3(self):
+        """The paper's 'simple fast SF algorithm with stronger primitives'
+        plugged straight into Algorithm 3."""
+        ns = RegisterNamespace("a3ticket")
+        lock = TimeResilientMutex(TicketLock(namespace=ns.child("A")),
+                                  delta=1.0, namespace=ns.child("door"))
+        res = self.run(lock, 4)
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_model_checked_exclusion(self):
+        lock = TicketLock(namespace=RegisterNamespace("mc_ticket"))
+        res = explore(
+            {pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=1.0))
+             for pid in range(2)},
+            [MutualExclusionProperty()],
+            max_ops=20,
+        )
+        assert res.ok and res.complete
+
+
+class TestTestAndSetLock:
+    def test_exclusion(self):
+        lock = TasLock()
+        eng = Engine(delta=1.0, timing=UniformTiming(0.1, 1.0, seed=5),
+                     max_time=100_000.0)
+        for pid in range(3):
+            eng.spawn(mutex_session(lock, pid, 3, cs_duration=0.2,
+                                    ncs_duration=0.1), pid=pid)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_backoff_does_not_affect_safety(self):
+        for backoff in (0.0, 0.1, 5.0):
+            lock = TasLock(backoff=backoff,
+                                  namespace=RegisterNamespace(("tb", backoff)))
+            eng = Engine(delta=1.0, timing=ConstantTiming(0.4), max_time=50_000.0)
+            for pid in range(3):
+                eng.spawn(mutex_session(lock, pid, 2, cs_duration=0.3), pid=pid)
+            res = eng.run()
+            assert check_mutual_exclusion(res.trace) == []
+
+    def test_single_register(self):
+        assert TasLock().register_count(64) == 1
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            TasLock(backoff=-1)
+
+
+class TestCasConsensus:
+    def test_agreement_any_timing(self):
+        for seed in range(5):
+            algo = CasConsensus(namespace=RegisterNamespace(("cc", seed)))
+            eng = Engine(delta=1.0,
+                         timing=AsynchronousTiming(0.3, 0.4, seed=seed),
+                         tie_break=RandomTieBreak(seed))
+            inputs = {0: 0, 1: 1, 2: 1}
+            for pid, v in inputs.items():
+                eng.spawn(algo.propose(pid, v), pid=pid)
+            res = eng.run()
+            v = check_consensus(res, inputs)
+            assert v.ok, (seed, v)
+
+    def test_constant_steps(self):
+        algo = CasConsensus()
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+        eng.spawn(algo.propose(0, 1), pid=0)
+        res = eng.run()
+        assert res.trace.shared_step_count(0) == 2
+
+    def test_rejects_none(self):
+        with pytest.raises(ValueError):
+            list(CasConsensus().propose(0, None))

@@ -1,0 +1,77 @@
+"""Unit tests for the ablated variants and the population metric."""
+
+import pytest
+
+from repro.algorithms import BarDavidLock, LamportFastLock, mutex_session
+from repro.analysis.ablations import (
+    AlwaysScanBarDavid,
+    NoDelayMutex,
+    NoResetMutex,
+    embedded_population,
+)
+from repro.core.mutex import TimeResilientMutex
+from repro.sim import ConstantTiming, Engine, UniformTiming
+from repro.sim.registers import RegisterNamespace
+from repro.spec import check_mutual_exclusion
+
+
+def build(cls, n, key):
+    ns = RegisterNamespace(("abl", key))
+    inner = BarDavidLock(LamportFastLock(n, namespace=ns.child("lf")), n,
+                         namespace=ns.child("gate"))
+    return cls(inner, delta=1.0, namespace=ns.child("door"))
+
+
+def run(lock, n, sessions=3, timing=None, max_time=50_000.0):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4),
+                 max_time=max_time)
+    for pid in range(n):
+        eng.spawn(mutex_session(lock, pid, sessions, cs_duration=0.3,
+                                ncs_duration=0.2), pid=pid)
+    return eng.run()
+
+
+class TestAblatedVariantsStillSafe:
+    """The ablations break liveness/efficiency properties, never exclusion."""
+
+    @pytest.mark.parametrize("cls", [NoResetMutex, NoDelayMutex])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_exclusion_held(self, cls, seed):
+        lock = build(cls, 3, (cls.__name__, seed))
+        res = run(lock, 3, timing=UniformTiming(0.05, 1.0, seed=seed))
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_always_scan_bar_david_safe_and_fair(self):
+        n = 3
+        ns = RegisterNamespace("abl_scan")
+        lock = AlwaysScanBarDavid(
+            LamportFastLock(n, namespace=ns.child("lf")), n,
+            namespace=ns.child("gate"),
+        )
+        res = run(lock, n, timing=UniformTiming(0.05, 1.0, seed=3))
+        assert check_mutual_exclusion(res.trace) == []
+        assert len(res.trace.cs_intervals()) == 9
+
+
+class TestEmbeddedPopulation:
+    def test_solo_population_one(self):
+        lock = build(TimeResilientMutex, 2, "pop_solo")
+        res = run(lock, 1, sessions=2)
+        assert embedded_population(res.trace) == 1
+
+    def test_serialized_population_one(self):
+        lock = build(TimeResilientMutex, 4, "pop_serial")
+        res = run(lock, 4, sessions=2)
+        assert embedded_population(res.trace) == 1
+
+    def test_no_delay_variant_leaks_population(self):
+        lock = build(NoDelayMutex, 5, "pop_leak")
+        res = run(lock, 5, sessions=8, timing=UniformTiming(0.05, 1.0, seed=1),
+                  max_time=800.0)
+        assert embedded_population(res.trace) >= 2
+
+    def test_since_window(self):
+        lock = build(TimeResilientMutex, 3, "pop_since")
+        res = run(lock, 3, sessions=2)
+        end = res.trace.end_time
+        assert embedded_population(res.trace, since=end + 1.0) == 0

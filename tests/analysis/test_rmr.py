@@ -1,0 +1,87 @@
+"""Tests for the remote-memory-reference (local-spinning) metric."""
+
+import pytest
+
+from repro.analysis.metrics import rmr_count, rmr_per_cs_entry
+from repro.algorithms import BakeryLock, FischerLock, mutex_session
+from repro.sim import ConstantTiming, Engine, Register, read, write
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+
+def ev(seq, pid, kind, reg, t):
+    return TraceEvent(seq=seq, pid=pid, kind=kind, issued=t, completed=t,
+                      register=reg, value=0)
+
+
+class TestCoherenceAccounting:
+    def test_first_read_remote_repeat_local(self):
+        tr = Trace(delta=1.0)
+        tr.append(ev(0, 0, EventKind.READ, "x", 1.0))
+        tr.append(ev(1, 0, EventKind.READ, "x", 2.0))
+        tr.append(ev(2, 0, EventKind.READ, "x", 3.0))
+        assert rmr_count(tr) == 1  # one miss, then local spins
+
+    def test_write_invalidates_other_readers(self):
+        tr = Trace(delta=1.0)
+        tr.append(ev(0, 0, EventKind.READ, "x", 1.0))  # p0 remote
+        tr.append(ev(1, 1, EventKind.WRITE, "x", 2.0))  # p1 remote, invalidates
+        tr.append(ev(2, 0, EventKind.READ, "x", 3.0))  # p0 remote again
+        assert rmr_count(tr) == 3
+
+    def test_writer_retains_copy(self):
+        tr = Trace(delta=1.0)
+        tr.append(ev(0, 0, EventKind.WRITE, "x", 1.0))
+        tr.append(ev(1, 0, EventKind.READ, "x", 2.0))
+        assert rmr_count(tr) == 1  # the post-write read is local
+
+    def test_every_write_remote(self):
+        tr = Trace(delta=1.0)
+        for i in range(3):
+            tr.append(ev(i, 0, EventKind.WRITE, "x", float(i + 1)))
+        assert rmr_count(tr) == 3
+
+    def test_rmw_counts_as_write(self):
+        tr = Trace(delta=1.0)
+        tr.append(ev(0, 0, EventKind.READ, "x", 1.0))
+        tr.append(ev(1, 1, EventKind.RMW, "x", 2.0))
+        tr.append(ev(2, 0, EventKind.READ, "x", 3.0))
+        assert rmr_count(tr) == 3
+
+    def test_pid_filter_still_applies_coherence(self):
+        tr = Trace(delta=1.0)
+        tr.append(ev(0, 0, EventKind.READ, "x", 1.0))
+        tr.append(ev(1, 1, EventKind.WRITE, "x", 2.0))
+        tr.append(ev(2, 0, EventKind.READ, "x", 3.0))
+        assert rmr_count(tr, pid=0) == 2  # p1's write not counted but felt
+
+
+class TestOnRealLocks:
+    def _run(self, lock, n, sessions=2):
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.3), max_time=50_000.0)
+        for pid in range(n):
+            eng.spawn(mutex_session(lock, pid, sessions, cs_duration=0.3,
+                                    ncs_duration=0.2), pid=pid)
+        return eng.run()
+
+    def test_spin_loops_are_mostly_local(self):
+        """Fischer's await(x = 0) spins are local after the first miss."""
+        res = self._run(FischerLock(delta=1.0), 3)
+        total_reads = len([e for e in res.trace if e.kind == "read"])
+        remote = rmr_count(res.trace)
+        assert remote < total_reads  # spinning was (partly) local
+
+    def test_rmr_per_cs_entry(self):
+        res = self._run(BakeryLock(3), 3)
+        per_entry = rmr_per_cs_entry(res.trace)
+        assert per_entry is not None and per_entry > 0
+
+    def test_no_cs_entries_none(self):
+        tr = Trace(delta=1.0)
+        assert rmr_per_cs_entry(tr) is None
+
+    def test_bakery_doorway_scan_is_remote_linear_in_n(self):
+        def solo_rmr(n):
+            res = self._run(BakeryLock(n), 1, sessions=1)
+            return rmr_count(res.trace)
+
+        assert solo_rmr(16) > solo_rmr(4) + 8  # the Θ(n) doorway scan

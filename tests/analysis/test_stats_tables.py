@@ -1,0 +1,106 @@
+"""Tests for statistics helpers and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, percentile, speedup, summarize
+from repro.analysis.tables import ExperimentTable, format_cell
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_median_even(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        xs = [5, 1, 3]
+        assert percentile(xs, 0) == 1
+        assert percentile(xs, 100) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestGeomMeanSpeedup:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        assert speedup(10.0, 0.0) is None
+        assert speedup(10.0, float("nan")) is None
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float(self):
+        assert format_cell(1.234) == "1.23"
+        assert format_cell(12345.6) == "12346"
+        assert format_cell(float("nan")) == "n/a"
+
+    def test_str_int(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+
+class TestExperimentTable:
+    def _table(self):
+        t = ExperimentTable("EX", "demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", None)
+        return t
+
+    def test_add_row_arity_checked(self):
+        t = self._table()
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_access(self):
+        t = self._table()
+        assert t.column("a") == [1, "x"]
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_render_contains_everything(self):
+        t = self._table()
+        t.notes.append("a note")
+        text = t.render()
+        assert "[EX] demo" in text
+        assert "2.50" in text
+        assert "a note" in text
+
+    def test_markdown(self):
+        md = self._table().to_markdown()
+        assert md.startswith("**[EX] demo**")
+        assert "| a | b |" in md

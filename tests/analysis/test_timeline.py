@@ -1,0 +1,98 @@
+"""Tests for the ASCII trace timeline."""
+
+import pytest
+
+from repro.algorithms import mutex_session
+from repro.analysis.timeline import lane_for, render_timeline
+from repro.core.mutex import default_time_resilient_mutex
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    MemoryFault,
+    Register,
+    failure_window,
+    read,
+)
+from repro.sim.trace import Trace
+
+
+def run_lock(n=2, sessions=2, timing=None, crashes=None, faults=None):
+    lock = default_time_resilient_mutex(n, delta=1.0)
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4),
+                 crashes=crashes, faults=faults, max_time=50_000.0)
+    for pid in range(n):
+        eng.spawn(mutex_session(lock, pid, sessions, cs_duration=0.5,
+                                ncs_duration=0.3), pid=pid)
+    return eng.run()
+
+
+class TestLane:
+    def test_contains_all_phases(self):
+        res = run_lock()
+        lane = lane_for(res.trace, 0, width=80)
+        assert len(lane) == 80
+        for glyph in ("=", "#", "."):
+            assert glyph in lane
+
+    def test_failure_marker(self):
+        timing = FailureWindowTiming(
+            ConstantTiming(0.4), [failure_window(0.0, 3.0, stretch=10.0)]
+        )
+        res = run_lock(timing=timing)
+        lanes = [lane_for(res.trace, pid) for pid in (0, 1)]
+        assert any("!" in lane for lane in lanes)
+
+    def test_crash_marker(self):
+        res = run_lock(crashes=CrashSchedule(at_time={1: 1.5}))
+        lane = lane_for(res.trace, 1)
+        assert "x" in lane
+
+    def test_width_validation(self):
+        res = run_lock()
+        with pytest.raises(ValueError):
+            lane_for(res.trace, 0, width=2)
+
+    def test_empty_trace(self):
+        tr = Trace(delta=1.0)
+        assert lane_for(tr, 0, width=10) == " " * 10
+
+
+class TestRenderTimeline:
+    def test_full_rendering(self):
+        res = run_lock()
+        text = render_timeline(res.trace)
+        assert "p0  |" in text and "p1  |" in text
+        assert "legend" in text
+
+    def test_fault_row(self):
+        x = Register("probe", 0)
+
+        def prog(pid):
+            for _ in range(10):
+                yield read(x)
+
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.4),
+                     faults=[MemoryFault(at=2.0, register=x, value=9)])
+        eng.spawn(prog(0))
+        res = eng.run()
+        text = render_timeline(res.trace)
+        assert "flt |" in text
+        assert "*" in text
+
+    def test_empty(self):
+        assert render_timeline(Trace(delta=1.0)) == "(empty trace)"
+
+    def test_fault_pid_excluded_from_lanes(self):
+        x = Register("probe", 0)
+
+        def prog(pid):
+            yield read(x)
+
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.4),
+                     faults=[MemoryFault(at=0.1, register=x, value=9)])
+        eng.spawn(prog(0))
+        res = eng.run()
+        text = render_timeline(res.trace)
+        assert "p-1" not in text

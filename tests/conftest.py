@@ -1,0 +1,109 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.algorithms import (
+    BakeryLock,
+    BarDavidLock,
+    BlackWhiteBakeryLock,
+    FilterLock,
+    FischerLock,
+    LamportFastLock,
+    MutexAlgorithm,
+    PetersonTwoProcess,
+    TournamentLock,
+    mutex_session,
+)
+from repro.core.mutex import TimeResilientMutex, default_time_resilient_mutex
+from repro.sim import ConstantTiming, Engine, RunResult, TimingModel
+from repro.sim.failures import CrashSchedule
+from repro.sim.scheduler import TieBreak
+
+
+def run_lock(
+    lock: MutexAlgorithm,
+    n: int,
+    sessions: int = 3,
+    cs_duration: float = 0.3,
+    ncs_duration: float = 0.5,
+    timing: Optional[TimingModel] = None,
+    delta: float = 1.0,
+    max_time: float = 50_000.0,
+    max_total_steps: float = 2_000_000,
+    tie_break: Optional[TieBreak] = None,
+    crashes: Optional[CrashSchedule] = None,
+    start_delays: Optional[Sequence[float]] = None,
+) -> RunResult:
+    """Run ``n`` session programs over ``lock`` and return the result."""
+    engine = Engine(
+        delta=delta,
+        timing=timing if timing is not None else ConstantTiming(0.4),
+        max_time=max_time,
+        max_total_steps=max_total_steps,
+        tie_break=tie_break,
+        crashes=crashes,
+    )
+    for pid in range(n):
+        start = 0.0 if start_delays is None else start_delays[pid]
+        engine.spawn(
+            mutex_session(
+                lock,
+                pid,
+                sessions,
+                cs_duration=cs_duration,
+                ncs_duration=ncs_duration,
+                start_delay=start,
+            ),
+            pid=pid,
+        )
+    return engine.run()
+
+
+def make_lock(name: str, n: int, delta: float = 1.0) -> MutexAlgorithm:
+    """Factory used by parametrized lock tests."""
+    if name == "fischer":
+        return FischerLock(delta=delta)
+    if name == "lamport_fast":
+        return LamportFastLock(n)
+    if name == "bakery":
+        return BakeryLock(n)
+    if name == "black_white_bakery":
+        return BlackWhiteBakeryLock(n)
+    if name == "peterson2":
+        return PetersonTwoProcess()
+    if name == "filter":
+        return FilterLock(n)
+    if name == "tournament":
+        return TournamentLock(n)
+    if name == "bar_david":
+        return BarDavidLock(LamportFastLock(n), n)
+    if name == "alg3":
+        return default_time_resilient_mutex(n, delta=delta)
+    raise ValueError(f"unknown lock {name!r}")
+
+
+#: Locks that are safe and live in a fully asynchronous run.
+ASYNC_LOCKS = [
+    "lamport_fast",
+    "bakery",
+    "black_white_bakery",
+    "filter",
+    "tournament",
+    "bar_david",
+]
+
+#: All locks, safe when the timing constraints hold.
+ALL_LOCKS = ASYNC_LOCKS + ["fischer", "alg3"]
+
+#: Locks claiming starvation-freedom.
+STARVATION_FREE_LOCKS = ["bakery", "black_white_bakery", "tournament", "bar_david"]
+
+
+@pytest.fixture
+def delta() -> float:
+    return 1.0

@@ -1,0 +1,103 @@
+"""Tests for the finite-register consensus (the paper's open-problem
+remark, under explicit bounded-failure + min-step assumptions)."""
+
+import pytest
+
+from repro.core.bounded import BoundedConsensus, RoundBudgetExceeded
+from repro.core.consensus import labeled_decision
+from repro.sim import (
+    ConstantTiming,
+    Engine,
+    FailureWindowTiming,
+    HookTiming,
+    RunStatus,
+    SimulationError,
+    UniformTiming,
+    failure_window,
+)
+from repro.sim.adversary import round_conflict_hook
+from repro.sim.registers import RegisterNamespace
+from repro.spec import check_consensus
+
+
+def run(consensus, inputs, timing, max_time=50_000.0):
+    eng = Engine(delta=consensus.delta, timing=timing, max_time=max_time)
+    for pid, v in inputs.items():
+        eng.spawn(labeled_decision(consensus.propose(pid, v)), pid=pid)
+    return eng.run()
+
+
+class TestRoundBudget:
+    def test_budget_formula(self):
+        c = BoundedConsensus(delta=1.0, failure_bound=10.0, min_step=0.1)
+        assert c.max_rounds == 22  # ceil(10 / 0.5) + 2
+        assert c.register_count() == 3 * 22 + 1
+
+    def test_zero_failure_bound_gives_two_rounds(self):
+        c = BoundedConsensus(delta=1.0, failure_bound=0.0, min_step=0.1)
+        assert c.max_rounds == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedConsensus(delta=0, failure_bound=1, min_step=0.1)
+        with pytest.raises(ValueError):
+            BoundedConsensus(delta=1, failure_bound=-1, min_step=0.1)
+        with pytest.raises(ValueError):
+            BoundedConsensus(delta=1, failure_bound=1, min_step=0)
+
+
+class TestWithinAssumptions:
+    def test_clean_run_decides_within_budget(self):
+        c = BoundedConsensus(delta=1.0, failure_bound=0.0, min_step=0.2)
+        inputs = {0: 0, 1: 1}
+        res = run(c, inputs, ConstantTiming(0.5))
+        assert res.status is RunStatus.COMPLETED
+        assert check_consensus(res, inputs).ok
+        assert res.memory.register_count <= c.register_count()
+
+    @pytest.mark.parametrize("window", [2.0, 5.0, 10.0])
+    def test_transient_failures_within_bound_decide(self, window):
+        c = BoundedConsensus(delta=1.0, failure_bound=window, min_step=0.2,
+                             namespace=RegisterNamespace(("b", window)))
+        timing = FailureWindowTiming(
+            # Base steps respect the min_step assumption.
+            UniformTiming(0.2, 1.0, seed=int(window)),
+            [failure_window(0.0, window, stretch=25.0)],
+        )
+        inputs = {0: 0, 1: 1, 2: 0}
+        res = run(c, inputs, timing)
+        assert res.status is RunStatus.COMPLETED
+        assert check_consensus(res, inputs).ok
+        # The finite register bank really bounded the space.
+        assert res.memory.register_count <= c.register_count()
+
+    def test_budget_not_reached_under_assumptions(self):
+        c = BoundedConsensus(delta=1.0, failure_bound=4.0, min_step=0.25)
+        timing = FailureWindowTiming(
+            ConstantTiming(0.5), [failure_window(0.0, 4.0, stretch=20.0)]
+        )
+        inputs = {0: 0, 1: 1}
+        res = run(c, inputs, timing)
+        assert res.status is RunStatus.COMPLETED
+
+
+class TestAssumptionViolated:
+    def test_everlasting_adversary_trips_the_budget(self):
+        """When failures never stop, the bounded variant fails loudly
+        instead of silently reusing rounds (which would endanger safety)."""
+        c = BoundedConsensus(delta=1.0, failure_bound=2.0, min_step=0.25)
+        # The worst legal schedule sustains conflicts forever; with the
+        # algorithm's own delay below its delta it never resolves... here
+        # we instead just run the round-conflict adversary against an
+        # undersized budget.
+        timing = HookTiming(ConstantTiming(0.01), round_conflict_hook(1.0))
+        eng = Engine(delta=1.0, timing=timing, max_time=10_000.0)
+        # Undermine the delay so rounds keep failing (simulating an
+        # environment whose failures outlast the assumed bound).
+        c2 = BoundedConsensus(delta=0.05, failure_bound=2.0, min_step=0.25,
+                              namespace=RegisterNamespace("b2"))
+        for pid, v in {0: 0, 1: 1}.items():
+            eng.spawn(c2.propose(pid, v), pid=pid)
+        with pytest.raises(SimulationError) as excinfo:
+            eng.run()
+        assert isinstance(excinfo.value.__cause__, RoundBudgetExceeded)

@@ -1,0 +1,242 @@
+"""Tests for Algorithm 1 — each clause of Theorem 2.1 plus safety theorems."""
+
+import pytest
+
+from repro.core.consensus import TimeResilientConsensus, run_consensus
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    HookTiming,
+    PerProcessTiming,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+    stall_write_to,
+)
+from repro.spec import check_consensus
+
+
+class TestTheorem21Item1_Efficiency:
+    """No timing failures ⇒ decide within 15·Δ (first two rounds)."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16])
+    def test_decision_within_15_delta(self, n):
+        inputs = [i % 2 for i in range(n)]
+        r = run_consensus(inputs, delta=1.0, timing=ConstantTiming(1.0))
+        assert r.verdict.ok
+        assert r.max_decision_time_in_deltas <= 15.0, r.max_decision_time_in_deltas
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decision_within_15_delta_jitter(self, seed):
+        r = run_consensus(
+            [0, 1, 0, 1], delta=1.0, timing=UniformTiming(0.2, 1.0, seed=seed)
+        )
+        assert r.verdict.ok
+        assert r.max_decision_time_in_deltas <= 15.0
+
+    def test_at_most_two_rounds_without_failures(self):
+        r = run_consensus([0, 1, 1, 0], delta=1.0, timing=ConstantTiming(0.7))
+        # One delay per non-deciding round: nobody delays more than once.
+        for pid in range(4):
+            delays = [e for e in r.run.trace.for_pid(pid) if e.kind == "delay"]
+            assert len(delays) <= 1
+
+
+class TestTheorem21Item2_Recovery:
+    """Failures stopping at round r ⇒ decision by end of round r+1."""
+
+    @pytest.mark.parametrize("stall", [3.0, 8.0, 20.0])
+    def test_decides_after_failure_window(self, stall):
+        timing = FailureWindowTiming(
+            ConstantTiming(0.8),
+            [failure_window(0.0, stall, pids=[0], duration=stall)],
+        )
+        r = run_consensus([0, 1], delta=1.0, timing=timing, max_time=10_000.0)
+        assert r.verdict.ok, r.verdict
+
+    def test_at_most_two_delays_after_failures_stop(self):
+        """After the last timing failure, each process needs <= 2 more rounds."""
+        timing = FailureWindowTiming(
+            ConstantTiming(0.8), [failure_window(0.0, 6.0, duration=7.0)]
+        )
+        r = run_consensus([0, 1, 1], delta=1.0, timing=timing, max_time=10_000.0)
+        assert r.verdict.ok
+        last_failure = r.run.trace.last_failure_time
+        for pid in range(3):
+            late_delays = [
+                e
+                for e in r.run.trace.for_pid(pid)
+                if e.kind == "delay" and e.issued >= last_failure
+            ]
+            assert len(late_delays) <= 2, (pid, late_delays)
+
+
+class TestTheorem21Item3_WaitFreedom:
+    @pytest.mark.parametrize("crash_step", [0, 1, 2, 3, 4, 5, 6])
+    def test_survivor_decides_despite_crash_at_any_step(self, crash_step):
+        r = run_consensus(
+            [0, 1],
+            delta=1.0,
+            timing=ConstantTiming(0.8),
+            crashes=CrashSchedule(after_steps={0: crash_step}),
+        )
+        assert r.run.status is RunStatus.COMPLETED
+        v = r.verdict
+        assert v.ok, (crash_step, v)
+        assert 1 in v.decisions
+
+    def test_all_but_one_crash(self):
+        n = 6
+        r = run_consensus(
+            [i % 2 for i in range(n)],
+            delta=1.0,
+            timing=ConstantTiming(0.8),
+            crashes=CrashSchedule.crash_all_but(survivor=3, pids=range(n), after_steps=2),
+        )
+        assert r.verdict.ok
+        assert set(r.decisions) == {3}
+
+    def test_crash_mid_failure_window(self):
+        timing = FailureWindowTiming(
+            ConstantTiming(0.8), [failure_window(0.0, 5.0, duration=6.0)]
+        )
+        r = run_consensus(
+            [0, 1, 1],
+            delta=1.0,
+            timing=timing,
+            crashes=CrashSchedule(at_time={0: 2.0}),
+            max_time=10_000.0,
+        )
+        assert r.verdict.ok
+
+
+class TestTheorem21Item4_FastPath:
+    def test_solo_decides_in_7_steps_no_delay(self):
+        r = run_consensus([1], delta=1.0, timing=ConstantTiming(0.9))
+        assert r.run.trace.shared_step_count(0) == 7
+        assert [e for e in r.run.trace if e.kind == "delay"] == []
+
+    def test_solo_fast_even_during_timing_failures(self):
+        """'regardless of timing failures' — the solo path has no delay."""
+        timing = FailureWindowTiming(
+            ConstantTiming(0.9), [failure_window(0.0, 100.0, stretch=10.0)]
+        )
+        r = run_consensus([0], delta=1.0, timing=timing, max_time=10_000.0)
+        assert r.verdict.ok
+        assert r.run.trace.shared_step_count(0) == 7
+
+    def test_late_arrival_adopts_standing_decision_quickly(self):
+        r = run_consensus(
+            [1, 1], delta=1.0, timing=ConstantTiming(0.9), start_times=[0.0, 50.0]
+        )
+        assert r.verdict.ok
+        # The late process reads `decide` already set: 1 read + maybe a
+        # few more steps, far fewer than a full round.
+        assert r.run.trace.shared_step_count(1) <= 7
+
+    def test_unanimous_inputs_decide_in_round_one(self):
+        r = run_consensus([1, 1, 1], delta=1.0, timing=ConstantTiming(0.9))
+        assert r.verdict.ok
+        assert [e for e in r.run.trace if e.kind == "delay"] == []
+
+
+class TestTheorem21Item5_UnboundedParticipants:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64])
+    def test_scales_without_knowing_n(self, n):
+        r = run_consensus([i % 2 for i in range(n)], delta=1.0,
+                          timing=ConstantTiming(1.0))
+        assert r.verdict.ok
+        assert r.max_decision_time_in_deltas <= 15.0
+
+    def test_staggered_unbounded_arrivals(self):
+        n = 10
+        r = run_consensus(
+            [i % 2 for i in range(n)],
+            delta=1.0,
+            timing=ConstantTiming(0.8),
+            start_times=[2.0 * i for i in range(n)],
+        )
+        assert r.verdict.ok
+
+
+class TestSafetyTheorems:
+    """Theorems 2.2 (validity) and 2.3 (agreement) under adversity."""
+
+    def test_validity_binary(self):
+        for inputs in ([0, 0], [1, 1], [0, 1]):
+            r = run_consensus(list(inputs), delta=1.0, timing=ConstantTiming(0.8))
+            assert set(r.decisions.values()) <= set(inputs)
+
+    def test_unanimous_inputs_decide_that_value(self):
+        r = run_consensus([0, 0, 0], delta=1.0, timing=ConstantTiming(0.8))
+        assert set(r.decisions.values()) == {0}
+
+    def test_agreement_under_targeted_y_stall(self):
+        """The exact adversary that breaks AT consensus must NOT break Alg 1."""
+        consensus = TimeResilientConsensus(delta=1.0)
+        hook = stall_write_to(
+            lambda name: isinstance(name, tuple)
+            and isinstance(name[0], tuple)
+            and name[0][-1] == "y",
+            duration=6.0,
+            pids=[0],
+            count=1,
+        )
+        eng = Engine(delta=1.0, timing=HookTiming(ConstantTiming(0.4), hook),
+                     max_time=10_000.0)
+        eng.spawn(consensus.propose(0, 0), pid=0)
+        eng.spawn(consensus.propose(1, 1), pid=1)
+        res = eng.run()
+        v = check_consensus(res, {0: 0, 1: 1},
+                            require_termination=res.status is RunStatus.COMPLETED)
+        assert v.safe, v
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_heterogeneous_speeds(self, seed):
+        timing = PerProcessTiming({0: 0.1, 1: 1.0, 2: 0.5}, default=0.4)
+        r = run_consensus([0, 1, 0], delta=1.0, timing=timing,
+                          tie_break=RandomTieBreak(seed))
+        assert r.verdict.ok
+
+
+class TestAlgorithmObject:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            TimeResilientConsensus(delta=0)
+
+    def test_rejects_bad_max_rounds(self):
+        with pytest.raises(ValueError):
+            TimeResilientConsensus(delta=1.0, max_rounds=0)
+
+    def test_rejects_none_proposal(self):
+        c = TimeResilientConsensus(delta=1.0)
+        with pytest.raises(ValueError):
+            list(c.propose(0, None))
+
+    def test_rejects_nonbinary_proposal(self):
+        r = TimeResilientConsensus(delta=1.0)
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+        eng.spawn(r.propose(0, 2), pid=0)
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_two_instances_do_not_collide(self):
+        from repro.sim.registers import RegisterNamespace
+
+        a = TimeResilientConsensus(delta=1.0, namespace=RegisterNamespace("A"))
+        b = TimeResilientConsensus(delta=1.0, namespace=RegisterNamespace("B"))
+        eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+        eng.spawn(a.propose(0, 0), pid=0)
+        eng.spawn(b.propose(1, 1), pid=1)
+        res = eng.run()
+        assert res.returns == {0: 0, 1: 1}  # independent decisions
+
+    def test_infinite_arrays_allocated_lazily(self):
+        r = run_consensus([1], delta=1.0)
+        # Solo run touches round 1 only: x[1,1], y[1], x[1,0], decide.
+        assert r.run.memory.register_count == 4

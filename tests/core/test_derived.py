@@ -1,0 +1,269 @@
+"""Tests for the derived wait-free objects (election, TAS, renaming,
+multivalued consensus, the consensus service)."""
+
+import pytest
+
+from repro.core.derived import ConsensusService, LeaderElection, MultivaluedConsensus, Renaming
+from repro.core.derived import TestAndSet as TasObject  # avoid pytest collection
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+)
+from repro.spec import (
+    TestAndSetModel,
+    check_consensus,
+    check_linearizability,
+    history_from_trace,
+)
+
+
+def engine(timing=None, delta=1.0, crashes=None, max_time=50_000.0, tie=None):
+    return Engine(delta=delta, timing=timing or ConstantTiming(0.5),
+                  crashes=crashes, max_time=max_time, tie_break=tie)
+
+
+class TestMultivaluedConsensus:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_agreement_and_validity(self, n):
+        mv = MultivaluedConsensus(n=n, delta=1.0)
+        eng = engine()
+        values = [f"v{i}" for i in range(n)]
+        for pid in range(n):
+            eng.spawn(mv.propose(pid, values[pid]), pid=pid)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        decisions = set(res.returns.values())
+        assert len(decisions) == 1
+        assert decisions.pop() in values
+
+    def test_solo_decides_own_value(self):
+        mv = MultivaluedConsensus(n=4, delta=1.0)
+        eng = engine()
+        eng.spawn(mv.propose(2, "mine"), pid=2)
+        res = eng.run()
+        assert res.returns == {2: "mine"}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_under_jitter(self, seed):
+        n = 4
+        mv = MultivaluedConsensus(n=n, delta=1.0)
+        eng = engine(timing=UniformTiming(0.05, 1.0, seed=seed),
+                     tie=RandomTieBreak(seed))
+        for pid in range(n):
+            eng.spawn(mv.propose(pid, 100 + pid), pid=pid)
+        res = eng.run()
+        assert len(set(res.returns.values())) == 1
+
+    def test_wait_free_under_crashes(self):
+        n = 4
+        mv = MultivaluedConsensus(n=n, delta=1.0)
+        eng = engine(crashes=CrashSchedule(after_steps={0: 3, 1: 9}))
+        for pid in range(n):
+            eng.spawn(mv.propose(pid, pid * 10), pid=pid)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        survivors = {pid: v for pid, v in res.returns.items()}
+        assert set(survivors) == {2, 3}
+        assert len(set(survivors.values())) == 1
+
+    def test_safety_under_timing_failures(self):
+        n = 3
+        mv = MultivaluedConsensus(n=n, delta=1.0)
+        timing = FailureWindowTiming(
+            ConstantTiming(0.5), [failure_window(0.0, 8.0, stretch=15.0, pids=[0])]
+        )
+        eng = engine(timing=timing)
+        for pid in range(n):
+            eng.spawn(mv.propose(pid, pid), pid=pid)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        assert len(set(res.returns.values())) == 1
+
+    def test_rejects_none_and_bad_pid(self):
+        mv = MultivaluedConsensus(n=2, delta=1.0)
+        with pytest.raises(ValueError):
+            list(mv.propose(0, None))
+        with pytest.raises(ValueError):
+            list(mv.propose(5, 1))
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_unique_leader_among_candidates(self, n):
+        el = LeaderElection(n=n, delta=1.0)
+        eng = engine()
+        for pid in range(n):
+            eng.spawn(el.elect(pid), pid=pid)
+        res = eng.run()
+        leaders = set(res.returns.values())
+        assert len(leaders) == 1
+        assert leaders.pop() in range(n)
+
+    def test_election_satisfies_consensus_spec(self):
+        n = 3
+        el = LeaderElection(n=n, delta=1.0)
+        eng = engine()
+        for pid in range(n):
+            eng.spawn(el.elect(pid), pid=pid)
+        res = eng.run()
+        v = check_consensus(res, {pid: pid for pid in range(n)})
+        assert v.ok
+
+    def test_sole_candidate_wins(self):
+        el = LeaderElection(n=5, delta=1.0)
+        eng = engine()
+        eng.spawn(el.elect(3), pid=3)
+        res = eng.run()
+        assert res.returns == {3: 3}
+
+    def test_crashed_candidates_do_not_block(self):
+        n = 4
+        el = LeaderElection(n=n, delta=1.0)
+        eng = engine(crashes=CrashSchedule(after_steps={1: 2, 2: 5}))
+        for pid in range(n):
+            eng.spawn(el.elect(pid), pid=pid)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        assert len(set(res.returns.values())) == 1
+
+
+class TestTestAndSet:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_exactly_one_winner(self, n):
+        tas = TasObject(n=n, delta=1.0)
+        eng = engine()
+        for pid in range(n):
+            eng.spawn(tas.test_and_set(pid), pid=pid)
+        res = eng.run()
+        wins = [pid for pid, v in res.returns.items() if v == 0]
+        losses = [pid for pid, v in res.returns.items() if v == 1]
+        assert len(wins) == 1
+        assert len(losses) == n - 1
+
+    def test_history_linearizable(self):
+        n = 4
+        tas = TasObject(n=n, delta=1.0)
+        eng = engine(timing=UniformTiming(0.1, 1.0, seed=4))
+        for pid in range(n):
+            eng.spawn(tas.test_and_set(pid), pid=pid)
+        res = eng.run()
+        history = history_from_trace(res.trace, obj="tas")
+        assert len(history) == n
+        assert check_linearizability(history, TestAndSetModel()).ok
+
+    def test_solo_caller_wins(self):
+        tas = TasObject(n=3, delta=1.0)
+        eng = engine()
+        eng.spawn(tas.test_and_set(1), pid=1)
+        assert eng.run().returns == {1: 0}
+
+    def test_winner_decided_despite_crashes(self):
+        n = 4
+        tas = TasObject(n=n, delta=1.0)
+        eng = engine(crashes=CrashSchedule(after_steps={0: 4}))
+        for pid in range(n):
+            eng.spawn(tas.test_and_set(pid), pid=pid)
+        res = eng.run()
+        # The crashed pid may or may not be the winner, but survivors see
+        # at most one 0 among themselves.
+        wins = [pid for pid, v in res.returns.items() if v == 0]
+        assert len(wins) <= 1
+
+
+class TestRenaming:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_names_distinct_and_tight(self, n):
+        rn = Renaming(n=n, delta=1.0)
+        eng = engine()
+        for pid in range(n):
+            eng.spawn(rn.acquire(pid), pid=pid)
+        res = eng.run()
+        names = sorted(res.returns.values())
+        assert names == list(range(1, n + 1))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_distinct_under_jitter(self, seed):
+        n = 4
+        rn = Renaming(n=n, delta=1.0)
+        eng = engine(timing=UniformTiming(0.05, 1.0, seed=seed),
+                     tie=RandomTieBreak(seed))
+        for pid in range(n):
+            eng.spawn(rn.acquire(pid), pid=pid)
+        res = eng.run()
+        names = list(res.returns.values())
+        assert len(names) == len(set(names))
+        assert all(1 <= name <= n for name in names)
+
+    def test_solo_gets_name_one(self):
+        rn = Renaming(n=5, delta=1.0)
+        eng = engine()
+        eng.spawn(rn.acquire(4), pid=4)
+        assert eng.run().returns == {4: 1}
+
+    def test_crash_does_not_duplicate_names(self):
+        n = 5
+        rn = Renaming(n=n, delta=1.0)
+        eng = engine(crashes=CrashSchedule(after_steps={2: 6}))
+        for pid in range(n):
+            eng.spawn(rn.acquire(pid), pid=pid)
+        res = eng.run()
+        names = list(res.returns.values())
+        assert len(names) == len(set(names))
+
+
+class TestConsensusService:
+    def test_independent_instances(self):
+        svc = ConsensusService(delta=1.0)
+        eng = engine()
+
+        def client(pid, key, value):
+            decision = yield from svc.propose(key, pid, value)
+            return (key, decision)
+
+        eng.spawn(client(0, "epoch1", 0), pid=0)
+        eng.spawn(client(1, "epoch2", 1), pid=1)
+        res = eng.run()
+        assert res.returns[0] == ("epoch1", 0)
+        assert res.returns[1] == ("epoch2", 1)
+
+    def test_same_instance_agrees(self):
+        svc = ConsensusService(delta=1.0)
+        eng = engine()
+
+        def client(pid, value):
+            decision = yield from svc.propose("shared", pid, value)
+            return decision
+
+        eng.spawn(client(0, 0), pid=0)
+        eng.spawn(client(1, 1), pid=1)
+        res = eng.run()
+        assert len(set(res.returns.values())) == 1
+
+    def test_multivalued_mode(self):
+        svc = ConsensusService(delta=1.0, n=3)
+        eng = engine()
+
+        def client(pid):
+            decision = yield from svc.propose("leader", pid, f"node-{pid}")
+            return decision
+
+        for pid in range(3):
+            eng.spawn(client(pid), pid=pid)
+        res = eng.run()
+        assert len(set(res.returns.values())) == 1
+
+    def test_instance_registry_reuse(self):
+        svc = ConsensusService(delta=1.0)
+        a = svc.instance("k")
+        assert svc.instance("k") is a
+        assert svc.instance("other") is not a
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            ConsensusService(delta=0)

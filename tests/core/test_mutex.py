@@ -1,0 +1,252 @@
+"""Tests for Algorithm 3 — stabilization, efficiency, convergence (§3)."""
+
+import pytest
+
+from repro.algorithms import (
+    BakeryLock,
+    BarDavidLock,
+    LamportFastLock,
+    mutex_session,
+)
+from repro.core.mutex import TimeResilientMutex, default_time_resilient_mutex
+from repro.core.resilience import check_resilience
+from repro.sim import (
+    AsynchronousTiming,
+    ConstantTiming,
+    Engine,
+    FailureWindowTiming,
+    HookTiming,
+    PerProcessTiming,
+    PidOrderTieBreak,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+    stall_write_to,
+)
+from repro.sim.registers import RegisterNamespace
+from repro.spec import check_mutual_exclusion, time_complexity
+
+
+def run(lock, n, sessions=3, timing=None, cs=0.2, ncs=0.3, max_time=50_000.0,
+        tie=None, starts=None):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.4),
+                 max_time=max_time, tie_break=tie)
+    for pid in range(n):
+        eng.spawn(
+            mutex_session(lock, pid, sessions, cs_duration=cs, ncs_duration=ncs,
+                          start_delay=0.0 if starts is None else starts[pid]),
+            pid=pid,
+        )
+    return eng.run()
+
+
+class TestStabilization:
+    """Safety (mutual exclusion) must hold even during timing failures."""
+
+    def test_exclusion_survives_doorway_breach(self):
+        """The stall that breaks Fischer must NOT break Algorithm 3."""
+        n = 3
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        hook = stall_write_to(lock.x.name, duration=3.0, pids=[0], count=1)
+        res = run(lock, n, sessions=2, cs=4.0,
+                  timing=HookTiming(ConstantTiming(0.4), hook))
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exclusion_fully_asynchronous(self, seed):
+        n = 3
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        res = run(lock, n, sessions=3,
+                  timing=AsynchronousTiming(base=0.3, tail_prob=0.3, seed=seed),
+                  max_time=200_000.0)
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_exclusion_under_failure_windows(self):
+        n = 4
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        timing = FailureWindowTiming(
+            ConstantTiming(0.4),
+            [failure_window(1.0, 6.0, stretch=20.0),
+             failure_window(20.0, 24.0, stretch=15.0, pids=[1, 2])],
+        )
+        res = run(lock, n, sessions=4, timing=timing)
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+
+class TestEfficiency:
+    """Without timing failures the lock costs O(Δ) (the §3 headline)."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_time_complexity_constant_deltas(self, n):
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        res = run(lock, n, sessions=3, cs=0.2, ncs=0.2,
+                  timing=ConstantTiming(0.2))
+        assert res.status is RunStatus.COMPLETED
+        assert res.trace.timing_failures() == []
+        tc = time_complexity(res.trace)
+        assert tc <= 6.0, f"n={n}: time complexity {tc} is not O(Δ)"
+
+    def test_time_complexity_flat_in_n(self):
+        """The crucial shape: Algorithm 3's metric does not grow with n."""
+
+        def metric(n):
+            lock = default_time_resilient_mutex(n, delta=1.0)
+            res = run(lock, n, sessions=2, cs=0.2, ncs=0.2,
+                      timing=ConstantTiming(0.2))
+            return time_complexity(res.trace)
+
+        assert metric(16) <= metric(2) + 2.0
+
+    def test_bakery_metric_grows_with_n(self):
+        """The asynchronous contrast: bakery pays Θ(n) steps per handover."""
+
+        def metric(n):
+            lock = BakeryLock(n)
+            res = run(lock, n, sessions=2, cs=0.2, ncs=0.2,
+                      timing=ConstantTiming(0.2))
+            return time_complexity(res.trace)
+
+        assert metric(16) > metric(2) + 2.0
+
+    def test_solo_entry_constant_steps(self):
+        lock = default_time_resilient_mutex(16, delta=1.0)
+        res = run(lock, 1, sessions=1, cs=0.0, ncs=0.0)
+        assert res.trace.shared_step_count(0) <= 16
+
+
+class TestConditionalReset:
+    """Line 8: of the flooded processes at most one re-opens the doorway."""
+
+    def test_non_owner_exit_leaves_x_alone(self):
+        n = 2
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        # Breach the doorway so both processes are inside A; the one whose
+        # id is NOT in x must leave x unchanged on exit.
+        hook = stall_write_to(lock.x.name, duration=3.0, pids=[0], count=1)
+        res = run(lock, n, sessions=1, cs=4.0,
+                  timing=HookTiming(ConstantTiming(0.4), hook))
+        x_writes = [e for e in res.trace
+                    if e.kind == "write" and e.register == lock.x.name]
+        resets = [e for e in x_writes if e.value is None]
+        # Two processes entered; exactly one reset (the current owner).
+        assert len(resets) == 1
+
+    def test_owner_exit_resets(self):
+        lock = default_time_resilient_mutex(1, delta=1.0)
+        res = run(lock, 1, sessions=1)
+        assert res.memory.peek(lock.x) is None  # FREE again
+
+
+class TestConvergence:
+    """Theorem 3.2 vs 3.3: the embedded lock's fairness drives convergence."""
+
+    @staticmethod
+    def _flood_scenario(variant, n=5, victim=0, max_time=400.0, seed=0):
+        """Breach the doorway so the victim is flooded into A, keep the
+        victim at the legal speed bound Δ while fast traffic hammers the
+        lock, and see how long the victim needs to drain.
+        """
+        ns = RegisterNamespace(("conv", variant, seed))
+        if variant == "deadlock_free":
+            inner = LamportFastLock(n, namespace=ns.child("lf"))
+        else:
+            inner = BarDavidLock(
+                LamportFastLock(n, namespace=ns.child("lf")), n,
+                namespace=ns.child("gate"),
+            )
+        lock = TimeResilientMutex(inner, delta=1.0, namespace=ns.child("door"))
+        base = PerProcessTiming({victim: 1.0}, default=0.05)
+        hook = stall_write_to(lock.x.name, duration=2.5, pids=[victim], count=1)
+        eng = Engine(delta=1.0, timing=HookTiming(base, hook), max_time=max_time,
+                     tie_break=PidOrderTieBreak([1, 2, 3, 4, victim]))
+        for pid in range(n):
+            sessions = 1 if pid == victim else 10_000
+            start = 0.0 if pid in (victim, 1) else 4.0
+            eng.spawn(
+                mutex_session(lock, pid, sessions, cs_duration=0.05,
+                              ncs_duration=0.0, start_delay=start),
+                pid=pid,
+            )
+        res = eng.run()
+        victim_entries = res.trace.cs_intervals(pid=victim)
+        victim_entry_time = victim_entries[0].enter if victim_entries else None
+        return res, victim_entry_time
+
+    def test_starvation_free_inner_drains_victim_quickly(self):
+        res, entry = self._flood_scenario("starvation_free")
+        assert check_mutual_exclusion(res.trace) == []
+        assert entry is not None
+        assert entry < 30.0
+
+    def test_deadlock_free_inner_delays_victim_much_longer(self):
+        """The measurable face of Theorem 3.2: with a deadlock-free-only
+        embedded lock the flooded victim's drain time blows up (here ~3-4x;
+        the theorem says no bound exists at all)."""
+        _, df_entry = self._flood_scenario("deadlock_free")
+        _, sf_entry = self._flood_scenario("starvation_free")
+        assert sf_entry is not None
+        assert df_entry is None or df_entry > 2.0 * sf_entry
+
+    def test_resilience_report_converges_for_default_lock(self):
+        n = 3
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        timing = FailureWindowTiming(
+            ConstantTiming(0.2), [failure_window(0.0, 5.0, stretch=30.0)]
+        )
+        res = run(lock, n, sessions=6, cs=0.2, ncs=0.2, timing=timing)
+        assert res.status is RunStatus.COMPLETED
+        report = check_resilience(res.trace, psi_deltas=8.0)
+        assert report.safety_ok
+        assert report.converged, report
+
+
+class TestComposition:
+    def test_doorway_and_inner_registers_disjoint(self):
+        n = 3
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        res = run(lock, n, sessions=2)
+        names = res.memory.touched_registers
+        assert lock.x.name in names
+        # The doorway register must not be one of A's registers.
+        inner_names = names - {lock.x.name}
+        assert all(name != lock.x.name for name in inner_names)
+
+    def test_register_count_is_inner_plus_one(self):
+        n = 4
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        inner_count = lock.inner.register_count(n)
+        assert lock.register_count(n) == inner_count + 1
+
+    def test_any_inner_lock_plugs_in(self):
+        n = 3
+        ns = RegisterNamespace("bakery_inner")
+        lock = TimeResilientMutex(
+            BakeryLock(n, namespace=ns.child("A")), delta=1.0,
+            namespace=ns.child("door"),
+        )
+        res = run(lock, n, sessions=2)
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            TimeResilientMutex(LamportFastLock(2), delta=0.0)
+
+    def test_properties_reflect_composition(self):
+        lock = default_time_resilient_mutex(3, delta=1.0)
+        props = lock.properties
+        assert props.timing_based
+        assert props.fast
+        assert props.exclusion_resilient
+        assert not props.starvation_free  # the doorway is unfair
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_jitter_runs_clean(self, seed):
+        n = 4
+        lock = default_time_resilient_mutex(n, delta=1.0)
+        res = run(lock, n, sessions=3, timing=UniformTiming(0.05, 1.0, seed=seed))
+        assert res.status is RunStatus.COMPLETED
+        assert check_mutual_exclusion(res.trace) == []

@@ -1,0 +1,136 @@
+"""Tests for the optimistic(Δ) estimators and the tuning loop."""
+
+import pytest
+
+from repro.core.consensus import run_consensus
+from repro.core.optimistic import (
+    AimdEstimator,
+    FixedEstimate,
+    SlowStartEstimator,
+    tune,
+)
+from repro.sim import ConstantTiming
+
+
+class TestFixedEstimate:
+    def test_constant(self):
+        est = FixedEstimate(0.5)
+        est.record_failure()
+        est.record_success()
+        assert est.current() == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedEstimate(0)
+
+
+class TestAimd:
+    def test_failure_grows_multiplicatively(self):
+        est = AimdEstimator(initial=1.0, increase_factor=2.0)
+        est.record_failure()
+        assert est.current() == 2.0
+        est.record_failure()
+        assert est.current() == 4.0
+
+    def test_success_shrinks_after_patience(self):
+        est = AimdEstimator(initial=1.0, decrease_step=0.1, patience=3)
+        est.record_success()
+        est.record_success()
+        assert est.current() == 1.0  # not yet
+        est.record_success()
+        assert est.current() == pytest.approx(0.9)
+
+    def test_failure_resets_streak(self):
+        est = AimdEstimator(initial=1.0, decrease_step=0.1, patience=2)
+        est.record_success()
+        est.record_failure()
+        est.record_success()
+        assert est.current() == 2.0  # no shrink: streak broken
+
+    def test_clamped_to_floor_and_ceiling(self):
+        est = AimdEstimator(initial=1.0, increase_factor=10.0, ceiling=5.0,
+                            decrease_step=2.0, floor=0.5, patience=1)
+        est.record_failure()
+        assert est.current() == 5.0
+        for _ in range(10):
+            est.record_success()
+        assert est.current() == 0.5
+
+    def test_counts(self):
+        est = AimdEstimator(initial=1.0)
+        est.record_failure()
+        est.record_success()
+        assert est.failures == 1 and est.successes == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AimdEstimator(initial=0)
+        with pytest.raises(ValueError):
+            AimdEstimator(initial=1, increase_factor=1.0)
+        with pytest.raises(ValueError):
+            AimdEstimator(initial=1, patience=0)
+        with pytest.raises(ValueError):
+            AimdEstimator(initial=1, floor=2.0, ceiling=1.0)
+
+
+class TestSlowStart:
+    def test_in_slow_start_until_first_success(self):
+        est = SlowStartEstimator(initial=0.1)
+        assert est.in_slow_start
+        est.record_failure()
+        assert est.in_slow_start
+        est.record_success()
+        assert not est.in_slow_start
+
+    def test_doubles_during_slow_start(self):
+        est = SlowStartEstimator(initial=0.1)
+        est.record_failure()
+        assert est.current() == pytest.approx(0.2)
+
+
+class TestTune:
+    def test_feedback_loop(self):
+        est = AimdEstimator(initial=0.1, increase_factor=2.0, patience=100)
+        # A fake instance: succeeds when the estimate reaches 0.75.
+        steps = tune(est, lambda e: (e >= 0.75, e), instances=8)
+        assert len(steps) == 8
+        assert steps[0].estimate == pytest.approx(0.1)
+        assert any(s.success for s in steps)
+        # After enough failures the estimate crossed the threshold and stays.
+        assert steps[-1].success
+
+    def test_zero_instances(self):
+        assert tune(FixedEstimate(1.0), lambda e: (True, 0.0), 0) == []
+
+    def test_negative_instances_rejected(self):
+        with pytest.raises(ValueError):
+            tune(FixedEstimate(1.0), lambda e: (True, 0.0), -1)
+
+
+class TestOptimisticDeltaEndToEnd:
+    """The paper's claim: an underestimate never hurts safety, only latency."""
+
+    @pytest.mark.parametrize("estimate", [0.1, 0.5, 1.0, 3.0])
+    def test_safety_at_any_estimate(self, estimate):
+        r = run_consensus([0, 1], delta=1.0, timing=ConstantTiming(1.0),
+                          algorithm_delta=estimate, max_time=10_000.0)
+        assert r.verdict.safe
+
+    def test_underestimate_costs_extra_rounds(self):
+        tiny = run_consensus([0, 1], delta=1.0, timing=ConstantTiming(1.0),
+                             algorithm_delta=0.05, max_time=10_000.0)
+        right = run_consensus([0, 1], delta=1.0, timing=ConstantTiming(1.0),
+                              algorithm_delta=1.0)
+        tiny_delays = len([e for e in tiny.run.trace if e.kind == "delay"])
+        right_delays = len([e for e in right.run.trace if e.kind == "delay"])
+        assert tiny.verdict.safe and right.verdict.ok
+        assert tiny_delays >= right_delays
+
+    def test_overestimate_costs_longer_delays(self):
+        big = run_consensus([0, 1], delta=1.0, timing=ConstantTiming(1.0),
+                            algorithm_delta=10.0)
+        right = run_consensus([0, 1], delta=1.0, timing=ConstantTiming(1.0),
+                              algorithm_delta=1.0)
+        assert big.verdict.ok and right.verdict.ok
+        if big.max_decision_time and right.max_decision_time:
+            assert big.max_decision_time >= right.max_decision_time

@@ -1,0 +1,129 @@
+"""Tests for the machine-checkable resilience definition (§1.3)."""
+
+import pytest
+
+from repro.core.resilience import check_consensus_resilience, check_resilience
+from repro.sim import ops
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+
+def lbl(seq, pid, kind, t, value=None):
+    return TraceEvent(seq=seq, pid=pid, kind=EventKind.LABEL, issued=t,
+                      completed=t, label=kind, value=value)
+
+
+def step(seq, pid, t0, t1, exceeded=False):
+    return TraceEvent(seq=seq, pid=pid, kind=EventKind.READ, issued=t0,
+                      completed=t1, register="r", value=0,
+                      exceeded_delta=exceeded)
+
+
+def session(seq0, pid, es, ce, cx, xd):
+    return [
+        lbl(seq0, pid, ops.ENTRY_START, es),
+        lbl(seq0 + 1, pid, ops.CS_ENTER, ce),
+        lbl(seq0 + 2, pid, ops.CS_EXIT, cx),
+        lbl(seq0 + 3, pid, ops.EXIT_DONE, xd),
+    ]
+
+
+def build(events):
+    tr = Trace(delta=1.0)
+    for e in sorted(events, key=lambda e: e.completed):
+        tr.append(e)
+    return tr
+
+
+class TestMutexResilience:
+    def test_clean_efficient_run_is_resilient(self):
+        tr = build(session(0, 0, 0.0, 0.5, 1.0, 1.2))
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert report.resilient
+        assert report.convergence_time == 0.0
+        assert report.efficiency_value <= 2.0
+
+    def test_efficiency_violation_detected(self):
+        # 5-time-unit wait with psi = 2 deltas and no failures anywhere.
+        tr = build(session(0, 0, 0.0, 5.0, 6.0, 6.2))
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert not report.efficiency_ok
+        assert not report.resilient
+        assert any("efficiency" in v for v in report.violations)
+
+    def test_convergence_time_measured_after_failures(self):
+        events = [
+            step(0, 0, 1.0, 4.0, exceeded=True),  # failure ends at 4.0
+        ]
+        # A long unserved wait 4.0 -> 9.0 (convergence work), then clean.
+        events += session(1, 0, 4.0, 9.0, 9.5, 9.7)
+        events += session(5, 0, 10.0, 10.5, 11.0, 11.2)
+        tr = build(events)
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert report.safety_ok
+        assert report.last_failure == 4.0
+        assert report.convergence_time == pytest.approx(5.0)
+
+    def test_never_converging_trace_reported(self):
+        events = [step(0, 0, 1.0, 4.0, exceeded=True)]
+        events += [lbl(1, 0, ops.ENTRY_START, 4.0)]  # waits forever
+        events += session(2, 1, 10.0, 10.2, 10.4, 10.5)
+        events += [step(6, 1, 29.0, 29.5)]  # the trace extends to 29.5
+        tr = build(events)
+        # pid 0 is still unserved when the window closes at 29.5 and the
+        # trailing unserved interval (10.4 -> 29.5) exceeds psi: convergence
+        # cannot be certified from this trace.
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert report.convergence_time is None
+        assert not report.resilient
+
+    def test_safety_violation_reported(self):
+        events = session(0, 0, 0.0, 1.0, 3.0, 3.2)
+        events += session(4, 1, 0.5, 2.0, 4.0, 4.2)  # overlaps pid 0
+        tr = build(events)
+        report = check_resilience(tr, psi_deltas=10.0)
+        assert not report.safety_ok
+
+    def test_efficiency_measured_on_prefailure_prefix(self):
+        # Clean till 10, then failure, then a long wait: efficiency judged
+        # on the prefix only.
+        events = session(0, 0, 0.0, 0.5, 1.0, 1.1)
+        events += [step(4, 0, 10.0, 14.0, exceeded=True)]
+        events += session(5, 0, 14.0, 25.0, 25.5, 25.6)
+        events += session(9, 0, 26.0, 26.2, 26.5, 26.6)
+        tr = build(events)
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert report.efficiency_ok
+        assert report.convergence_time == pytest.approx(25.0 - 14.0)
+
+
+class TestConsensusResilience:
+    def test_clean_fast_decisions(self):
+        tr = build([
+            lbl(0, 0, ops.DECIDED, 3.0, value=1),
+            lbl(1, 1, ops.DECIDED, 4.0, value=1),
+        ])
+        report = check_consensus_resilience(tr, psi_deltas=15.0)
+        assert report.converged
+        assert report.efficiency_ok
+        assert report.convergence_time == pytest.approx(4.0)
+
+    def test_slow_decision_without_failures_flagged(self):
+        tr = build([lbl(0, 0, ops.DECIDED, 99.0, value=1)])
+        report = check_consensus_resilience(tr, psi_deltas=15.0)
+        assert not report.efficiency_ok
+
+    def test_decisions_measured_from_last_failure(self):
+        tr = build([
+            step(0, 0, 0.0, 50.0, exceeded=True),
+            lbl(1, 0, ops.DECIDED, 60.0, value=1),
+        ])
+        report = check_consensus_resilience(tr, psi_deltas=15.0)
+        assert report.convergence_time == pytest.approx(10.0)
+        assert report.converged
+
+    def test_missing_decider_flagged(self):
+        tr = build([lbl(0, 0, ops.DECIDED, 3.0, value=1)])
+        report = check_consensus_resilience(tr, psi_deltas=15.0,
+                                            decided_pids=[0, 1])
+        assert not report.converged
+        assert any("never decided" in v for v in report.violations)

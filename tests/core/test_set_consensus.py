@@ -1,0 +1,110 @@
+"""Tests for k-set consensus (paper §2.1's list of derivable objects)."""
+
+import pytest
+
+from repro.core.derived import SetConsensus
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+)
+
+
+def run_set(sc, inputs, timing=None, crashes=None, tie=None, max_time=50_000.0):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.5),
+                 crashes=crashes, tie_break=tie, max_time=max_time)
+    for pid, v in inputs.items():
+        eng.spawn(sc.propose(pid, v), pid=pid)
+    return eng.run()
+
+
+class TestKAgreement:
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (6, 3), (6, 6), (5, 2)])
+    def test_at_most_k_values_decided(self, n, k):
+        sc = SetConsensus(n=n, k=k, delta=1.0)
+        inputs = {pid: f"v{pid}" for pid in range(n)}
+        res = run_set(sc, inputs)
+        assert res.status is RunStatus.COMPLETED
+        decided = set(res.returns.values())
+        assert 1 <= len(decided) <= k
+
+    def test_k_equals_1_is_consensus(self):
+        sc = SetConsensus(n=4, k=1, delta=1.0)
+        inputs = {pid: pid * 10 for pid in range(4)}
+        res = run_set(sc, inputs)
+        assert len(set(res.returns.values())) == 1
+
+    def test_validity(self):
+        n, k = 6, 2
+        sc = SetConsensus(n=n, k=k, delta=1.0)
+        inputs = {pid: f"v{pid}" for pid in range(n)}
+        res = run_set(sc, inputs)
+        assert set(res.returns.values()) <= set(inputs.values())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k_agreement_under_jitter(self, seed):
+        n, k = 6, 2
+        sc = SetConsensus(n=n, k=k, delta=1.0)
+        inputs = {pid: pid for pid in range(n)}
+        res = run_set(sc, inputs, timing=UniformTiming(0.05, 1.0, seed=seed),
+                      tie=RandomTieBreak(seed))
+        assert len(set(res.returns.values())) <= k
+
+
+class TestGroups:
+    def test_group_assignment(self):
+        sc = SetConsensus(n=7, k=3, delta=1.0)
+        assert [sc.group_of(pid) for pid in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_same_group_agrees(self):
+        n, k = 6, 3
+        sc = SetConsensus(n=n, k=k, delta=1.0)
+        inputs = {pid: pid for pid in range(n)}
+        res = run_set(sc, inputs)
+        by_group = {}
+        for pid, decision in res.returns.items():
+            by_group.setdefault(sc.group_of(pid), set()).add(decision)
+        for group, decisions in by_group.items():
+            assert len(decisions) == 1, (group, decisions)
+
+
+class TestResilience:
+    def test_safety_under_timing_failures(self):
+        n, k = 4, 2
+        sc = SetConsensus(n=n, k=k, delta=1.0)
+        timing = FailureWindowTiming(
+            ConstantTiming(0.5), [failure_window(0.0, 8.0, stretch=20.0)]
+        )
+        inputs = {pid: pid for pid in range(n)}
+        res = run_set(sc, inputs, timing=timing)
+        assert res.status is RunStatus.COMPLETED
+        assert len(set(res.returns.values())) <= k
+
+    def test_wait_freedom_under_crashes(self):
+        n, k = 6, 2
+        sc = SetConsensus(n=n, k=k, delta=1.0)
+        inputs = {pid: pid for pid in range(n)}
+        res = run_set(sc, inputs,
+                      crashes=CrashSchedule(after_steps={0: 2, 3: 5}))
+        assert res.status is RunStatus.COMPLETED
+        survivors = set(res.returns)
+        assert survivors == {1, 2, 4, 5}
+        assert len(set(res.returns.values())) <= k
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            SetConsensus(n=3, k=0, delta=1.0)
+        with pytest.raises(ValueError):
+            SetConsensus(n=3, k=4, delta=1.0)
+
+    def test_bad_pid(self):
+        sc = SetConsensus(n=3, k=2, delta=1.0)
+        with pytest.raises(ValueError):
+            sc.group_of(7)

@@ -1,0 +1,166 @@
+"""Tests for the universal construction (Herlihy) over Algorithm 1."""
+
+import pytest
+
+from repro.core.derived import Universal
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+)
+from repro.spec import (
+    CounterModel,
+    QueueModel,
+    StackModel,
+    check_linearizability,
+    history_from_trace,
+)
+
+
+def engine(timing=None, crashes=None, tie=None, max_time=200_000.0):
+    return Engine(delta=1.0, timing=timing or ConstantTiming(0.5),
+                  crashes=crashes, tie_break=tie, max_time=max_time)
+
+
+def run_clients(universal, scripts, timing=None, crashes=None, tie=None):
+    """scripts: pid -> list of (op_name, args)."""
+    eng = engine(timing=timing, crashes=crashes, tie=tie)
+
+    def client(pid, ops_list):
+        client_handle = universal.client(pid)
+        results = []
+        for name, args in ops_list:
+            result = yield from client_handle.invoke(name, *args)
+            results.append(result)
+        return results
+
+    for pid, ops_list in scripts.items():
+        eng.spawn(client(pid, ops_list), pid=pid)
+    return eng.run()
+
+
+class TestCounter:
+    def test_increments_are_unique_and_dense(self):
+        n = 3
+        counter = Universal(n=n, delta=1.0, model=CounterModel(), object_id="ctr")
+        scripts = {pid: [("increment", ())] * 2 for pid in range(n)}
+        res = run_clients(counter, scripts)
+        assert res.status is RunStatus.COMPLETED
+        observed = sorted(v for results in res.returns.values() for v in results)
+        assert observed == list(range(2 * n))
+
+    def test_linearizable_history(self):
+        n = 3
+        counter = Universal(n=n, delta=1.0, model=CounterModel(), object_id="ctr")
+        scripts = {pid: [("increment", ()), ("read", ())] for pid in range(n)}
+        res = run_clients(counter, scripts, timing=UniformTiming(0.1, 1.0, seed=2))
+        history = history_from_trace(res.trace, obj="ctr")
+        assert len(history) == 2 * n
+        assert check_linearizability(history, CounterModel()).ok
+
+
+class TestQueue:
+    def test_fifo_behaviour(self):
+        queue = Universal(n=2, delta=1.0, model=QueueModel(), object_id="q")
+        scripts = {
+            0: [("enqueue", (f"a{i}",)) for i in range(3)],
+            1: [("dequeue", ())] * 3,
+        }
+        res = run_clients(queue, scripts)
+        assert res.status is RunStatus.COMPLETED
+        history = history_from_trace(res.trace, obj="q")
+        assert check_linearizability(history, QueueModel()).ok
+
+    def test_producer_order_preserved(self):
+        queue = Universal(n=2, delta=1.0, model=QueueModel(), object_id="q")
+        scripts = {
+            0: [("enqueue", (i,)) for i in range(4)],
+            1: [],
+        }
+        res = run_clients(queue, scripts)
+        # Drain sequentially with a fresh run sharing the same memory? Not
+        # possible across engines — instead verify via a single consumer
+        # appended to the same run:
+        queue2 = Universal(n=2, delta=1.0, model=QueueModel(), object_id="q2")
+        scripts2 = {
+            0: [("enqueue", (i,)) for i in range(4)] + [("dequeue", ())] * 4,
+        }
+        res2 = run_clients(queue2, scripts2)
+        dequeued = res2.returns[0][4:]
+        assert dequeued == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_linearizable_under_jitter(self, seed):
+        queue = Universal(n=3, delta=1.0, model=QueueModel(), object_id="q")
+        scripts = {
+            0: [("enqueue", (1,)), ("enqueue", (2,))],
+            1: [("dequeue", ()), ("dequeue", ())],
+            2: [("enqueue", (3,)), ("dequeue", ())],
+        }
+        res = run_clients(queue, scripts, timing=UniformTiming(0.05, 1.0, seed=seed),
+                          tie=RandomTieBreak(seed))
+        assert res.status is RunStatus.COMPLETED
+        history = history_from_trace(res.trace, obj="q")
+        assert check_linearizability(history, QueueModel()).ok
+
+
+class TestStack:
+    def test_lifo_behaviour(self):
+        stack = Universal(n=1, delta=1.0, model=StackModel(), object_id="s")
+        scripts = {0: [("push", (1,)), ("push", (2,)), ("pop", ()), ("pop", ())]}
+        res = run_clients(stack, scripts)
+        assert res.returns[0][2:] == [2, 1]
+
+    def test_concurrent_linearizable(self):
+        stack = Universal(n=2, delta=1.0, model=StackModel(), object_id="s")
+        scripts = {
+            0: [("push", ("a",)), ("pop", ())],
+            1: [("push", ("b",)), ("pop", ())],
+        }
+        res = run_clients(stack, scripts, timing=UniformTiming(0.1, 0.9, seed=7))
+        history = history_from_trace(res.trace, obj="s")
+        assert check_linearizability(history, StackModel()).ok
+
+
+class TestWaitFreedom:
+    def test_helping_completes_operations_despite_crashes(self):
+        """A crashed process must not block others (Herlihy helping)."""
+        n = 3
+        counter = Universal(n=n, delta=1.0, model=CounterModel(), object_id="ctr")
+        scripts = {pid: [("increment", ())] * 2 for pid in range(n)}
+        res = run_clients(
+            counter, scripts, crashes=CrashSchedule(after_steps={0: 10})
+        )
+        assert res.status is RunStatus.COMPLETED
+        # Survivors finished all their operations.
+        assert set(res.returns) >= {1, 2}
+        for pid in (1, 2):
+            assert len(res.returns[pid]) == 2
+
+    def test_duplicate_slot_wins_filtered(self):
+        """A helped operation may win two slots; results must stay unique."""
+        n = 2
+        counter = Universal(n=n, delta=1.0, model=CounterModel(), object_id="ctr")
+        scripts = {pid: [("increment", ())] * 3 for pid in range(n)}
+        res = run_clients(counter, scripts, timing=UniformTiming(0.05, 1.0, seed=9))
+        observed = sorted(v for results in res.returns.values() for v in results)
+        assert observed == list(range(6))
+
+
+class TestValidation:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            Universal(n=0, delta=1.0, model=CounterModel())
+
+    def test_client_pid_range(self):
+        u = Universal(n=2, delta=1.0, model=CounterModel())
+        with pytest.raises(ValueError):
+            u.client(5)
+
+    def test_slot_instances_cached(self):
+        u = Universal(n=2, delta=1.0, model=CounterModel())
+        assert u.slot(0) is u.slot(0)
+        assert u.slot(0) is not u.slot(1)

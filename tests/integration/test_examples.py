@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example asserts its own domain properties internally (agreement,
+exclusion, linearizability, convergence), so a clean exit is a real
+end-to-end check, not just an import test.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(ALL_EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} produced no output"

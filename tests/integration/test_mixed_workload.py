@@ -1,0 +1,81 @@
+"""A full-system stress scenario: locks, consensus instances, derived
+objects and failures all sharing one engine run — the closest thing to a
+production workload the simulator can host."""
+
+import pytest
+
+from repro.algorithms import mutex_session
+from repro.core.consensus import labeled_decision
+from repro.core.derived import ConsensusService
+from repro.core.mutex import default_time_resilient_mutex
+from repro.sim import (
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+    ops,
+)
+from repro.sim.registers import RegisterNamespace
+from repro.spec import check_mutual_exclusion
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_mixed_workload_all_guarantees_hold(seed):
+    n_lockers = 3
+    n_voters = 3
+    lock = default_time_resilient_mutex(
+        n_lockers, delta=1.0, namespace=RegisterNamespace(("mix", seed, "lock"))
+    )
+    service = ConsensusService(
+        delta=1.0, namespace=RegisterNamespace(("mix", seed, "svc"))
+    )
+
+    timing = FailureWindowTiming(
+        UniformTiming(0.05, 1.0, seed=seed),
+        [failure_window(2.0, 8.0, stretch=20.0),
+         failure_window(20.0, 23.0, stretch=15.0, pids=[0, 3])],
+    )
+    # One voter crashes mid-protocol.
+    crashes = CrashSchedule(after_steps={n_lockers + 1: 9})
+
+    engine = Engine(delta=1.0, timing=timing, crashes=crashes,
+                    max_time=100_000.0)
+
+    # Lock clients (pids 0..2).
+    for pid in range(n_lockers):
+        engine.spawn(
+            mutex_session(lock, pid, 4, cs_duration=0.3, ncs_duration=0.4),
+            pid=pid,
+        )
+
+    # Consensus voters (pids 3..5), deciding two epochs each.
+    def voter(pid, proposal):
+        first = yield from service.propose("epoch-1", pid, proposal)
+        yield ops.local_work(5.0)
+        second = yield from service.propose("epoch-2", pid, 1 - proposal)
+        return (first, second)
+
+    for i in range(n_voters):
+        pid = n_lockers + i
+        engine.spawn(voter(pid, i % 2), pid=pid)
+
+    result = engine.run()
+    assert result.status is RunStatus.COMPLETED
+
+    # Lock side: every session completed, no exclusion violation.
+    assert check_mutual_exclusion(result.trace) == []
+    assert len(result.trace.cs_intervals()) == 4 * n_lockers
+
+    # Consensus side: survivors agree per epoch, values are proposals.
+    outcomes = [result.returns[pid] for pid in range(n_lockers, n_lockers + n_voters)
+                if pid in result.returns]
+    assert outcomes  # the crashed voter is excused, others finished
+    firsts = {o[0] for o in outcomes}
+    seconds = {o[1] for o in outcomes}
+    assert len(firsts) == 1 and len(seconds) == 1
+    assert firsts <= {0, 1} and seconds <= {0, 1}
+
+    # The failure windows really produced timing failures.
+    assert result.trace.timing_failures()

@@ -1,0 +1,113 @@
+"""Tests for the message-passing emulation."""
+
+import pytest
+
+from repro.mp import Network
+from repro.sim import ConstantTiming, Engine, RunStatus, UniformTiming
+
+
+def run(programs, timing=None, max_time=50_000.0):
+    eng = Engine(delta=1.0, timing=timing or ConstantTiming(0.3),
+                 max_time=max_time)
+    for pid, prog in programs.items():
+        eng.spawn(prog, pid=pid)
+    return eng.run()
+
+
+class TestMailbox:
+    def test_send_receive_roundtrip(self):
+        net = Network(2)
+
+        def sender(pid):
+            endpoint = net.endpoint(0)
+            yield from endpoint.send(1, "hello")
+            yield from endpoint.send(1, "world")
+
+        def receiver(pid):
+            endpoint = net.endpoint(1)
+            got = []
+            while len(got) < 2:
+                inbox = yield from endpoint.poll()
+                got.extend(m for _, m in inbox)
+            return got
+
+        res = run({0: sender(0), 1: receiver(1)})
+        assert res.status is RunStatus.COMPLETED
+        assert res.returns[1] == ["hello", "world"]
+
+    def test_fifo_per_channel(self):
+        net = Network(2)
+        count = 10
+
+        def sender(pid):
+            endpoint = net.endpoint(0)
+            for i in range(count):
+                yield from endpoint.send(1, i)
+
+        def receiver(pid):
+            endpoint = net.endpoint(1)
+            got = []
+            while len(got) < count:
+                inbox = yield from endpoint.poll()
+                got.extend(m for _, m in inbox)
+            return got
+
+        res = run({0: sender(0), 1: receiver(1)},
+                  timing=UniformTiming(0.05, 1.0, seed=2))
+        assert res.returns[1] == list(range(count))
+
+    def test_broadcast_reaches_everyone(self):
+        n = 4
+        net = Network(n)
+
+        def caster(pid):
+            endpoint = net.endpoint(0)
+            yield from endpoint.broadcast("ping")
+
+        def listener(pid):
+            endpoint = net.endpoint(pid)
+            while True:
+                inbox = yield from endpoint.poll()
+                if inbox:
+                    return inbox
+
+        programs = {0: caster(0)}
+        programs.update({p: listener(p) for p in range(1, n)})
+        res = run(programs)
+        for p in range(1, n):
+            assert res.returns[p] == [(0, "ping")]
+
+    def test_channels_are_independent(self):
+        net = Network(3)
+
+        def sender(pid, dest, msg):
+            endpoint = net.endpoint(pid)
+            yield from endpoint.send(dest, msg)
+
+        def receiver(pid):
+            endpoint = net.endpoint(pid)
+            while True:
+                inbox = yield from endpoint.poll()
+                if inbox:
+                    return inbox
+
+        res = run({
+            0: sender(0, 2, "a"),
+            1: sender(1, 2, "b"),
+            2: receiver(2),
+        })
+        senders = {s for s, _ in res.returns[2]}
+        # Receiver may catch one or both in the first nonempty poll.
+        assert senders <= {0, 1} and senders
+
+    def test_endpoint_validation(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.endpoint(5)
+        with pytest.raises(ValueError):
+            Network(0)
+
+    def test_no_self_mailbox(self):
+        net = Network(2)
+        with pytest.raises(KeyError):
+            net.mailbox(1, 1)

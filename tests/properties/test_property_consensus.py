@@ -1,0 +1,151 @@
+"""Property-based tests: Algorithm 1 safety under randomized adversity.
+
+Hypothesis drives the adversary: random inputs, random step-time jitter,
+random tie-breaking, random failure windows and random crash schedules.
+Validity and agreement must hold in *every* generated execution — that is
+the stabilization half of the paper's resilience definition.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consensus import run_consensus
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    FailureWindowTiming,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+)
+
+MAX_EXAMPLES = 60
+
+
+inputs_strategy = st.lists(st.integers(0, 1), min_size=1, max_size=6)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(inputs=inputs_strategy, seed=st.integers(0, 2**16))
+def test_safety_under_jitter(inputs, seed):
+    r = run_consensus(
+        inputs,
+        delta=1.0,
+        timing=UniformTiming(0.05, 1.0, seed=seed),
+        tie_break=RandomTieBreak(seed),
+        max_total_steps=200_000,
+    )
+    assert r.verdict.ok  # jitter stays within Δ: liveness holds too
+    assert r.max_decision_time_in_deltas <= 15.0
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    inputs=inputs_strategy,
+    seed=st.integers(0, 2**16),
+    windows=st.lists(
+        st.tuples(
+            st.floats(0.0, 20.0),  # start
+            st.floats(0.1, 15.0),  # length
+            st.floats(2.0, 40.0),  # stretch
+        ),
+        min_size=0,
+        max_size=3,
+    ),
+)
+def test_safety_under_failure_windows(inputs, seed, windows):
+    timing = FailureWindowTiming(
+        UniformTiming(0.1, 1.0, seed=seed),
+        [failure_window(s, s + length, stretch=f) for s, length, f in windows],
+    )
+    r = run_consensus(
+        inputs,
+        delta=1.0,
+        timing=timing,
+        tie_break=RandomTieBreak(seed),
+        max_time=5_000.0,
+        max_total_steps=200_000,
+    )
+    assert r.verdict.safe  # windows end: termination expected too, but we
+    # only demand safety here (very long windows can outlast max_time)
+    if r.run.status is RunStatus.COMPLETED:
+        assert r.verdict.ok
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    inputs=st.lists(st.integers(0, 1), min_size=2, max_size=5),
+    seed=st.integers(0, 2**16),
+    data=st.data(),
+)
+def test_safety_and_waitfreedom_under_crashes(inputs, seed, data):
+    n = len(inputs)
+    crash_pids = data.draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=n - 1)
+    )
+    crash_steps = {
+        pid: data.draw(st.integers(0, 12), label=f"crash_step_{pid}")
+        for pid in crash_pids
+    }
+    r = run_consensus(
+        inputs,
+        delta=1.0,
+        timing=UniformTiming(0.1, 1.0, seed=seed),
+        tie_break=RandomTieBreak(seed),
+        crashes=CrashSchedule(after_steps=crash_steps),
+        max_total_steps=200_000,
+    )
+    assert r.verdict.ok  # survivors decide (wait-freedom) and agree
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    inputs=inputs_strategy,
+    seed=st.integers(0, 2**16),
+    estimate=st.floats(0.05, 5.0),
+)
+def test_safety_at_any_delta_estimate(inputs, seed, estimate):
+    """optimistic(Δ): the algorithm's delay constant never affects safety."""
+    r = run_consensus(
+        inputs,
+        delta=1.0,
+        timing=UniformTiming(0.1, 1.0, seed=seed),
+        algorithm_delta=estimate,
+        max_time=5_000.0,
+        max_total_steps=200_000,
+    )
+    assert r.verdict.safe
+
+
+@settings(max_examples=30, deadline=None)
+@given(value=st.integers(0, 1), n=st.integers(1, 6), seed=st.integers(0, 2**16))
+def test_unanimous_inputs_decide_that_value(value, n, seed):
+    r = run_consensus(
+        [value] * n,
+        delta=1.0,
+        timing=UniformTiming(0.1, 1.0, seed=seed),
+        tie_break=RandomTieBreak(seed),
+    )
+    assert r.verdict.ok
+    assert set(r.decisions.values()) == {value}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    inputs=inputs_strategy,
+    seed=st.integers(0, 2**16),
+    starts=st.data(),
+)
+def test_safety_with_staggered_starts(inputs, seed, starts):
+    start_times = [
+        starts.draw(st.floats(0.0, 30.0), label=f"start_{i}")
+        for i in range(len(inputs))
+    ]
+    r = run_consensus(
+        inputs,
+        delta=1.0,
+        timing=UniformTiming(0.1, 1.0, seed=seed),
+        start_times=start_times,
+        max_total_steps=200_000,
+    )
+    assert r.verdict.ok

@@ -1,0 +1,84 @@
+"""Property-based tests of the consensus checker on synthetic runs.
+
+The checker is the instrument behind E1-E6; these tests generate synthetic
+decision patterns and confirm the checker classifies them correctly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import ConstantTiming, Engine, label, ops, read
+from repro.sim.registers import Register
+from repro.spec import check_consensus
+
+MAX_EXAMPLES = 60
+
+X = Register("sx", 0)
+
+
+def decider(value):
+    def prog():
+        yield read(X)
+        yield label(ops.DECIDED, value)
+        return value
+
+    return prog()
+
+
+def silent():
+    yield read(X)
+
+
+def build_run(decisions, silent_pids=()):
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+    pid = 0
+    for value in decisions:
+        eng.spawn(decider(value), pid=pid)
+        pid += 1
+    for _ in silent_pids:
+        eng.spawn(silent(), pid=pid)
+        pid += 1
+    return eng.run()
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    value=st.integers(0, 1),
+    count=st.integers(1, 5),
+)
+def test_unanimous_decisions_always_ok(value, count):
+    res = build_run([value] * count)
+    verdict = check_consensus(res, {pid: value for pid in range(count)})
+    assert verdict.ok
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(decisions=st.lists(st.integers(0, 1), min_size=2, max_size=5))
+def test_agreement_classification(decisions):
+    res = build_run(decisions)
+    inputs = {pid: v for pid, v in enumerate(decisions)}
+    verdict = check_consensus(res, inputs)
+    assert verdict.agreed == (len(set(decisions)) == 1)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    inputs_vals=st.lists(st.integers(0, 1), min_size=1, max_size=4),
+    decided=st.integers(0, 5),
+)
+def test_validity_classification(inputs_vals, decided):
+    res = build_run([decided] * len(inputs_vals))
+    inputs = {pid: v for pid, v in enumerate(inputs_vals)}
+    verdict = check_consensus(res, inputs)
+    assert verdict.valid == (decided in set(inputs_vals))
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(deciders=st.integers(1, 3), silents=st.integers(1, 3))
+def test_termination_classification(deciders, silents):
+    res = build_run([1] * deciders, silent_pids=range(silents))
+    inputs = {pid: 1 for pid in range(deciders + silents)}
+    verdict = check_consensus(res, inputs)
+    assert not verdict.terminated
+    assert verdict.safe
+    relaxed = check_consensus(res, inputs, require_termination=False)
+    assert relaxed.violations == []

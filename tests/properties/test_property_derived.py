@@ -1,0 +1,128 @@
+"""Property-based tests for the derived wait-free objects.
+
+Hypothesis sweeps participation patterns, crash schedules, jitter seeds
+and linearization orders; the objects' safety properties must hold in
+every generated execution.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.derived import (
+    LeaderElection,
+    MultivaluedConsensus,
+    Renaming,
+    SetConsensus,
+)
+from repro.core.derived import TestAndSet as TasObject
+from repro.sim import (
+    CrashSchedule,
+    Engine,
+    RandomTieBreak,
+    UniformTiming,
+)
+from repro.sim.registers import RegisterNamespace
+
+MAX_EXAMPLES = 30
+
+
+def engine_for(seed, crashes=None):
+    return Engine(
+        delta=1.0,
+        timing=UniformTiming(0.05, 1.0, seed=seed),
+        tie_break=RandomTieBreak(seed),
+        crashes=crashes,
+        max_time=100_000.0,
+        max_total_steps=500_000,
+    )
+
+
+crash_strategy = st.dictionaries(
+    keys=st.integers(0, 5), values=st.integers(0, 20), max_size=3
+)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(n=st.integers(1, 6), seed=st.integers(0, 2**16), crashes=crash_strategy)
+def test_election_unique_leader(n, seed, crashes):
+    crashes = {pid: step for pid, step in crashes.items() if pid < n}
+    assume(len(crashes) < n)  # keep at least one live candidate
+    election = LeaderElection(n=n, delta=1.0,
+                              namespace=RegisterNamespace(("pel", n, seed)))
+    eng = engine_for(seed, CrashSchedule(after_steps=crashes))
+    for pid in range(n):
+        eng.spawn(election.elect(pid), pid=pid)
+    res = eng.run()
+    leaders = set(res.returns.values())
+    assert len(leaders) <= 1
+    if leaders:
+        assert leaders.pop() in range(n)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(n=st.integers(1, 6), seed=st.integers(0, 2**16), crashes=crash_strategy)
+def test_tas_at_most_one_winner(n, seed, crashes):
+    crashes = {pid: step for pid, step in crashes.items() if pid < n}
+    assume(len(crashes) < n)
+    tas = TasObject(n=n, delta=1.0,
+                    namespace=RegisterNamespace(("ptas", n, seed)))
+    eng = engine_for(seed, CrashSchedule(after_steps=crashes))
+    for pid in range(n):
+        eng.spawn(tas.test_and_set(pid), pid=pid)
+    res = eng.run()
+    wins = [pid for pid, v in res.returns.items() if v == 0]
+    assert len(wins) <= 1
+    # If nobody crashed, there is exactly one winner among the finishers.
+    if not crashes and res.returns:
+        assert len(wins) == 1
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(n=st.integers(1, 6), seed=st.integers(0, 2**16), crashes=crash_strategy)
+def test_renaming_distinct_tight_names(n, seed, crashes):
+    crashes = {pid: step for pid, step in crashes.items() if pid < n}
+    assume(len(crashes) < n)
+    renaming = Renaming(n=n, delta=1.0,
+                        namespace=RegisterNamespace(("prn", n, seed)))
+    eng = engine_for(seed, CrashSchedule(after_steps=crashes))
+    for pid in range(n):
+        eng.spawn(renaming.acquire(pid), pid=pid)
+    res = eng.run()
+    names = list(res.returns.values())
+    assert len(names) == len(set(names))
+    assert all(1 <= name <= n for name in names)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    n=st.integers(1, 6),
+    k_fraction=st.floats(0.1, 1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_set_consensus_k_agreement(n, k_fraction, seed):
+    k = max(1, min(n, int(round(k_fraction * n))))
+    sc = SetConsensus(n=n, k=k, delta=1.0,
+                      namespace=RegisterNamespace(("psc", n, k, seed)))
+    eng = engine_for(seed)
+    for pid in range(n):
+        eng.spawn(sc.propose(pid, f"value-{pid}"), pid=pid)
+    res = eng.run()
+    decided = set(res.returns.values())
+    assert 1 <= len(decided) <= k
+    assert decided <= {f"value-{pid}" for pid in range(n)}
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(n=st.integers(1, 6), seed=st.integers(0, 2**16), data=st.data())
+def test_multivalued_decision_is_someones_proposal(n, seed, data):
+    values = [
+        data.draw(st.integers(0, 100), label=f"value_{i}") for i in range(n)
+    ]
+    mv = MultivaluedConsensus(n=n, delta=1.0,
+                              namespace=RegisterNamespace(("pmv", n, seed)))
+    eng = engine_for(seed)
+    for pid in range(n):
+        eng.spawn(mv.propose(pid, 1000 + values[pid]), pid=pid)
+    res = eng.run()
+    decisions = set(res.returns.values())
+    assert len(decisions) == 1
+    assert decisions.pop() in {1000 + v for v in values}

@@ -1,0 +1,83 @@
+"""Property-based tests for the message-passing layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mp import Network, OmegaElection, eventual_agreement
+from repro.sim import (
+    Engine,
+    FailureWindowTiming,
+    RandomTieBreak,
+    UniformTiming,
+    failure_window,
+)
+
+MAX_EXAMPLES = 25
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    messages=st.lists(st.integers(0, 99), min_size=1, max_size=12),
+)
+def test_channels_fifo_and_lossless(seed, messages):
+    """Every message arrives, exactly once, in send order — regardless of
+    jitter and linearization order."""
+    net = Network(2)
+
+    def sender(pid):
+        endpoint = net.endpoint(0)
+        for m in messages:
+            yield from endpoint.send(1, m)
+
+    def receiver(pid):
+        endpoint = net.endpoint(1)
+        got = []
+        while len(got) < len(messages):
+            inbox = yield from endpoint.poll()
+            got.extend(m for _, m in inbox)
+        return got
+
+    eng = Engine(delta=1.0, timing=UniformTiming(0.05, 1.0, seed=seed),
+                 tie_break=RandomTieBreak(seed), max_time=100_000.0)
+    eng.spawn(sender(0), pid=0)
+    eng.spawn(receiver(1), pid=1)
+    res = eng.run()
+    assert res.returns[1] == messages
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    n=st.integers(2, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_omega_agrees_without_failures(n, seed):
+    omega = OmegaElection(n, heartbeat_period=1.0, initial_timeout=4.0)
+    eng = Engine(delta=1.0, timing=UniformTiming(0.05, 0.5, seed=seed),
+                 tie_break=RandomTieBreak(seed), max_time=100_000.0)
+    for pid in range(n):
+        eng.spawn(omega.run(pid, rounds=12), pid=pid)
+    res = eng.run()
+    leader = eventual_agreement(dict(res.returns))
+    assert leader == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    window_len=st.floats(2.0, 10.0),
+)
+def test_omega_reconverges_after_window(seed, window_len):
+    n = 3
+    omega = OmegaElection(n, heartbeat_period=1.0, initial_timeout=3.0,
+                          timeout_growth=2.0)
+    timing = FailureWindowTiming(
+        UniformTiming(0.05, 0.3, seed=seed),
+        [failure_window(4.0, 4.0 + window_len, pids=[0], stretch=80.0)],
+    )
+    eng = Engine(delta=1.0, timing=timing, max_time=100_000.0)
+    rounds = 40 + int(window_len * 4)
+    for pid in range(n):
+        eng.spawn(omega.run(pid, rounds=rounds), pid=pid)
+    res = eng.run()
+    leader = eventual_agreement(dict(res.returns), tail_fraction=0.15)
+    assert leader == 0  # pid 0 never crashed; adaptation restores it

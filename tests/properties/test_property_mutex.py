@@ -1,0 +1,130 @@
+"""Property-based tests: mutual exclusion safety under randomized adversity.
+
+Random timing (including unbounded tails), random tie-breaks and random
+failure windows — the asynchronous locks and Algorithm 3 must never lose
+mutual exclusion (stabilization), while Fischer alone may (and that is
+precisely what the paper's composition fixes).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    BakeryLock,
+    BarDavidLock,
+    BlackWhiteBakeryLock,
+    LamportFastLock,
+    TournamentLock,
+    mutex_session,
+)
+from repro.core.mutex import default_time_resilient_mutex
+from repro.sim import (
+    AsynchronousTiming,
+    Engine,
+    FailureWindowTiming,
+    RandomTieBreak,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+)
+from repro.spec import check_mutual_exclusion, check_starvation
+
+MAX_EXAMPLES = 40
+
+
+def run_random(lock, n, seed, timing, sessions=2, max_time=100_000.0):
+    eng = Engine(delta=1.0, timing=timing, tie_break=RandomTieBreak(seed),
+                 max_time=max_time, max_total_steps=500_000)
+    for pid in range(n):
+        eng.spawn(
+            mutex_session(lock, pid, sessions, cs_duration=0.2, ncs_duration=0.1),
+            pid=pid,
+        )
+    return eng.run()
+
+
+LOCK_BUILDERS = {
+    "lamport_fast": lambda n: LamportFastLock(n),
+    "bakery": lambda n: BakeryLock(n),
+    "black_white_bakery": lambda n: BlackWhiteBakeryLock(n),
+    "tournament": lambda n: TournamentLock(n),
+    "bar_david": lambda n: BarDavidLock(LamportFastLock(n), n),
+    "alg3": lambda n: default_time_resilient_mutex(n, delta=1.0),
+}
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    name=st.sampled_from(sorted(LOCK_BUILDERS)),
+    n=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_exclusion_under_unbounded_asynchrony(name, n, seed):
+    lock = LOCK_BUILDERS[name](n)
+    timing = AsynchronousTiming(base=0.3, tail_prob=0.2, seed=seed)
+    res = run_random(lock, n, seed, timing)
+    assert check_mutual_exclusion(res.trace) == [], (name, n, seed)
+    assert res.status is RunStatus.COMPLETED  # all are deadlock-free
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    name=st.sampled_from(sorted(LOCK_BUILDERS)),
+    n=st.integers(2, 4),
+    seed=st.integers(0, 2**16),
+    windows=st.lists(
+        st.tuples(st.floats(0.0, 10.0), st.floats(0.1, 8.0), st.floats(2.0, 30.0)),
+        min_size=1,
+        max_size=2,
+    ),
+)
+def test_exclusion_under_failure_windows(name, n, seed, windows):
+    lock = LOCK_BUILDERS[name](n)
+    timing = FailureWindowTiming(
+        UniformTiming(0.05, 1.0, seed=seed),
+        [failure_window(s, s + d, stretch=f) for s, d, f in windows],
+    )
+    res = run_random(lock, n, seed, timing)
+    assert check_mutual_exclusion(res.trace) == [], (name, n, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(["bakery", "black_white_bakery", "tournament", "bar_david"]),
+    seed=st.integers(0, 2**16),
+)
+def test_starvation_free_locks_bounded_bypass(name, seed):
+    n = 3
+    lock = LOCK_BUILDERS[name](n)
+    res = run_random(lock, n, seed, UniformTiming(0.05, 1.0, seed=seed), sessions=3)
+    assert res.status is RunStatus.COMPLETED
+    starved, _ = check_starvation(res.trace, bypass_bound=6 * n)
+    assert starved == [], (name, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), n=st.integers(2, 4))
+def test_alg3_all_sessions_complete_after_failures_end(seed, n):
+    """Deadlock-freedom + convergence: once windows close, progress resumes."""
+    lock = default_time_resilient_mutex(n, delta=1.0)
+    timing = FailureWindowTiming(
+        UniformTiming(0.05, 0.9, seed=seed),
+        [failure_window(0.0, 6.0, stretch=25.0)],
+    )
+    res = run_random(lock, n, seed, timing, sessions=3)
+    assert res.status is RunStatus.COMPLETED
+    assert len(res.trace.cs_intervals()) == 3 * n
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_trace_well_formedness(seed):
+    """Structural invariants of every generated trace."""
+    lock = default_time_resilient_mutex(3, delta=1.0)
+    res = run_random(lock, 3, seed, UniformTiming(0.05, 1.0, seed=seed))
+    last = 0.0
+    for event in res.trace:
+        assert event.completed >= event.issued
+        assert event.completed >= last
+        last = event.completed
+    for interval in res.trace.cs_intervals():
+        assert interval.exit >= interval.enter

@@ -1,0 +1,129 @@
+"""Tests for the real-thread backend.
+
+These run actual threads; wall-clock budgets are kept tiny (the default
+time unit is 1 ms) and assertions avoid anything scheduler-dependent
+beyond the algorithms' own guarantees.
+"""
+
+import pytest
+
+from repro.algorithms import BakeryLock, mutex_session
+from repro.core.consensus import TimeResilientConsensus, labeled_decision
+from repro.core.mutex import default_time_resilient_mutex
+from repro.runtime import ThreadedExecutor, measure_host_delta
+from repro.sim import ops
+from repro.sim.registers import Register
+
+
+class TestExecutorBasics:
+    def test_single_program(self):
+        x = Register("x", 0)
+
+        def prog(pid):
+            v = yield ops.read(x)
+            yield ops.write(x, v + 1)
+            return v
+
+        ex = ThreadedExecutor()
+        ex.spawn(prog(0))
+        res = ex.run(timeout=10.0)
+        assert res.ok
+        assert res.returns == {0: 0}
+        assert res.store.peek(x) == 1
+
+    def test_labels_recorded(self):
+        def prog(pid):
+            yield ops.label(ops.DECIDED, 42)
+            yield ops.read(Register("y", 0))
+
+        ex = ThreadedExecutor()
+        ex.spawn(prog(0))
+        res = ex.run(timeout=10.0)
+        assert res.decisions() == {0: 42}
+
+    def test_errors_reported(self):
+        def bad(pid):
+            yield ops.read(Register("z", 0))
+            raise RuntimeError("boom")
+
+        ex = ThreadedExecutor()
+        ex.spawn(bad(0))
+        res = ex.run(timeout=10.0)
+        assert not res.ok
+        assert isinstance(res.errors[0], RuntimeError)
+
+    def test_duplicate_pid_rejected(self):
+        ex = ThreadedExecutor()
+        ex.spawn(iter(()), pid=0)
+        with pytest.raises(ValueError):
+            ex.spawn(iter(()), pid=0)
+
+    def test_bad_time_unit(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(time_unit=0)
+
+
+class TestConsensusOnThreads:
+    @pytest.mark.parametrize("trial", range(3))
+    def test_agreement_on_real_threads(self, trial):
+        consensus = TimeResilientConsensus(delta=2.0)
+        ex = ThreadedExecutor(time_unit=1e-3)
+        n = 4
+        for pid in range(n):
+            ex.spawn(labeled_decision(consensus.propose(pid, pid % 2)), pid=pid)
+        res = ex.run(timeout=30.0)
+        assert res.ok, res.errors
+        decisions = set(res.returns.values())
+        assert len(decisions) == 1
+        assert decisions.pop() in (0, 1)
+
+    def test_solo_fast(self):
+        consensus = TimeResilientConsensus(delta=1.0)
+        ex = ThreadedExecutor()
+        ex.spawn(consensus.propose(0, 1), pid=0)
+        res = ex.run(timeout=10.0)
+        assert res.returns == {0: 1}
+
+
+class TestMutexOnThreads:
+    @pytest.mark.parametrize("trial", range(2))
+    def test_algorithm3_no_cs_overlap(self, trial):
+        n = 3
+        lock = default_time_resilient_mutex(n, delta=2.0)
+        ex = ThreadedExecutor(time_unit=1e-3)
+        for pid in range(n):
+            ex.spawn(mutex_session(lock, pid, sessions=3, cs_duration=0.5,
+                                   ncs_duration=0.2), pid=pid)
+        res = ex.run(timeout=60.0)
+        assert res.ok, res.errors
+        assert not res.cs_overlap_detected()
+        assert set(res.returns.values()) == {3}
+
+    def test_bakery_no_cs_overlap(self):
+        n = 3
+        lock = BakeryLock(n)
+        ex = ThreadedExecutor(time_unit=1e-3)
+        for pid in range(n):
+            ex.spawn(mutex_session(lock, pid, sessions=3, cs_duration=0.5,
+                                   ncs_duration=0.2), pid=pid)
+        res = ex.run(timeout=60.0)
+        assert res.ok
+        assert not res.cs_overlap_detected()
+
+
+class TestHostDelta:
+    def test_measurement_shape(self):
+        report = measure_host_delta(threads=2, steps_per_thread=200)
+        assert report.samples > 0
+        assert 0 <= report.mean <= report.maximum
+        assert report.p50 <= report.p99 <= report.maximum
+
+    def test_optimistic_choice(self):
+        report = measure_host_delta(threads=2, steps_per_thread=200)
+        assert report.optimistic(0.99) == report.p99
+        with pytest.raises(ValueError):
+            report.optimistic(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_host_delta(threads=0)

@@ -1,0 +1,129 @@
+"""Unit tests for targeted adversary hooks."""
+
+from repro.sim.adversary import (
+    compose_hooks,
+    slow_after,
+    stall_read_of,
+    stall_step_index,
+    stall_write_to,
+)
+from repro.sim.ops import Read, Write
+from repro.sim.registers import Register
+from repro.sim.timing import StepContext
+
+import pytest
+
+
+def write_ctx(name, pid=0, now=0.0, step_index=0):
+    return StepContext(pid=pid, op=Write(Register(name), 1), now=now, step_index=step_index)
+
+
+def read_ctx(name, pid=0, now=0.0, step_index=0):
+    return StepContext(pid=pid, op=Read(Register(name)), now=now, step_index=step_index)
+
+
+class TestStallWriteTo:
+    def test_exact_name_match(self):
+        hook = stall_write_to("x", 9.0)
+        assert hook(write_ctx("x"), 0.5) == 9.0
+        assert hook(write_ctx("y"), 0.5) is None
+
+    def test_prefix_tuple_matches_array_cells(self):
+        hook = stall_write_to(("ns", "y"), 9.0)
+        ctx = StepContext(0, Write(Register(("ns", "y", 3)), 1), 0.0, 0)
+        assert hook(ctx, 0.5) == 9.0
+
+    def test_predicate_target(self):
+        hook = stall_write_to(lambda name: name == "z", 9.0)
+        assert hook(write_ctx("z"), 0.5) == 9.0
+
+    def test_reads_unaffected(self):
+        hook = stall_write_to("x", 9.0)
+        assert hook(read_ctx("x"), 0.5) is None
+
+    def test_count_limits_stalls(self):
+        hook = stall_write_to("x", 9.0, count=2)
+        assert hook(write_ctx("x"), 0.5) == 9.0
+        assert hook(write_ctx("x"), 0.5) == 9.0
+        assert hook(write_ctx("x"), 0.5) is None
+
+    def test_count_none_unlimited(self):
+        hook = stall_write_to("x", 9.0, count=None)
+        for _ in range(10):
+            assert hook(write_ctx("x"), 0.5) == 9.0
+
+    def test_pid_filter(self):
+        hook = stall_write_to("x", 9.0, pids=[1])
+        assert hook(write_ctx("x", pid=0), 0.5) is None
+        assert hook(write_ctx("x", pid=1), 0.5) == 9.0
+
+    def test_never_shortens(self):
+        hook = stall_write_to("x", 0.1)
+        assert hook(write_ctx("x"), 0.5) == 0.5
+
+
+class TestStallReadOf:
+    def test_matches_reads_only(self):
+        hook = stall_read_of("x", 9.0)
+        assert hook(read_ctx("x"), 0.5) == 9.0
+        assert hook(write_ctx("x"), 0.5) is None
+
+
+class TestStallStepIndex:
+    def test_exact_step(self):
+        hook = stall_step_index(pid=1, step_index=3, duration=9.0)
+        assert hook(read_ctx("x", pid=1, step_index=3), 0.5) == 9.0
+        assert hook(read_ctx("x", pid=1, step_index=2), 0.5) is None
+        assert hook(read_ctx("x", pid=0, step_index=3), 0.5) is None
+
+
+class TestSlowAfter:
+    def test_slows_from_start_time(self):
+        hook = slow_after([0], start=5.0, factor=3.0)
+        assert hook(read_ctx("x", pid=0, now=4.9), 0.5) is None
+        assert hook(read_ctx("x", pid=0, now=5.0), 0.5) == 1.5
+
+    def test_other_pids_unaffected(self):
+        hook = slow_after([0], start=0.0, factor=3.0)
+        assert hook(read_ctx("x", pid=1, now=1.0), 0.5) is None
+
+    def test_rejects_shrinking_factor(self):
+        with pytest.raises(ValueError):
+            slow_after([0], start=0.0, factor=0.5)
+
+
+class TestCompose:
+    def test_first_override_wins(self):
+        h1 = stall_write_to("x", 9.0)
+        h2 = stall_write_to("x", 99.0, count=None)
+        hook = compose_hooks(h1, h2)
+        assert hook(write_ctx("x"), 0.5) == 9.0
+        # h1 exhausted (count=1), h2 takes over
+        assert hook(write_ctx("x"), 0.5) == 99.0
+
+    def test_all_none_keeps_nominal(self):
+        hook = compose_hooks(stall_write_to("a", 9.0), stall_write_to("b", 9.0))
+        assert hook(write_ctx("c"), 0.5) is None
+
+
+class TestEndToEndFischerViolation:
+    """The adversary that actually breaks Fischer (E13's core scenario)."""
+
+    def test_stalled_write_breaks_mutual_exclusion(self):
+        from repro.algorithms import FischerLock, mutex_session
+        from repro.sim import ConstantTiming, Engine, HookTiming
+        from repro.spec import check_mutual_exclusion
+
+        lock = FischerLock(delta=1.0)
+        # Stall p0's write to x long enough that p1 completes its doorway
+        # and enters the CS first; p0's late write then survives p0's
+        # delay-and-check, letting p0 in while p1 is still inside.
+        hook = stall_write_to(lock.x.name, duration=3.0, pids=[0], count=1)
+        engine = Engine(delta=1.0, timing=HookTiming(ConstantTiming(0.4), hook))
+        for pid in range(2):
+            engine.spawn(
+                mutex_session(lock, pid, sessions=1, cs_duration=4.0), pid=pid
+            )
+        result = engine.run()
+        overlaps = check_mutual_exclusion(result.trace)
+        assert overlaps, "the targeted stall must break Fischer's exclusion"

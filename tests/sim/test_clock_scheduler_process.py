@@ -1,0 +1,75 @@
+"""Unit tests for the virtual clock, tie-break policies and processes."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.process import Process, ProcessState
+from repro.sim.scheduler import FifoTieBreak, PidOrderTieBreak, RandomTieBreak
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_no_backwards(self):
+        c = VirtualClock(start=2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = VirtualClock(start=2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1.0)
+
+
+class TestTieBreaks:
+    def test_fifo_orders_by_seq(self):
+        tb = FifoTieBreak()
+        assert tb.priority(5, 1) < tb.priority(0, 2)
+
+    def test_pid_order(self):
+        tb = PidOrderTieBreak([2, 0, 1])
+        assert tb.priority(2, 99) < tb.priority(0, 1)
+        assert tb.priority(0, 99) < tb.priority(1, 1)
+
+    def test_pid_order_unknown_pids_last(self):
+        tb = PidOrderTieBreak([1])
+        assert tb.priority(1, 0) < tb.priority(7, 0)
+
+    def test_random_deterministic_per_seed(self):
+        a = RandomTieBreak(seed=3)
+        b = RandomTieBreak(seed=3)
+        assert [a.priority(0, i) for i in range(5)] == [
+            b.priority(0, i) for i in range(5)
+        ]
+
+    def test_random_differs_across_seeds(self):
+        a = [RandomTieBreak(seed=1).priority(0, i) for i in range(5)]
+        b = [RandomTieBreak(seed=2).priority(0, i) for i in range(5)]
+        assert a != b
+
+
+class TestProcess:
+    def _prog(self):
+        yield from ()
+
+    def test_default_name(self):
+        p = Process(3, self._prog())
+        assert p.name == "p3"
+
+    def test_alive_states(self):
+        p = Process(0, self._prog())
+        assert p.alive
+        p.state = ProcessState.DONE
+        assert not p.alive and p.decided
+        p.state = ProcessState.CRASHED
+        assert not p.alive and not p.decided

@@ -1,0 +1,93 @@
+"""Unit tests for failure descriptions."""
+
+import math
+
+import pytest
+
+from repro.sim.failures import (
+    CrashSchedule,
+    TimingFailureWindow,
+    failure_window,
+    merge_windows,
+)
+
+
+class TestTimingFailureWindow:
+    def test_affects_time_range(self):
+        w = failure_window(1.0, 2.0)
+        assert not w.affects(0, 0.99)
+        assert w.affects(0, 1.0)
+        assert w.affects(0, 1.99)
+        assert not w.affects(0, 2.0)  # end-exclusive
+
+    def test_affects_pid_filter(self):
+        w = failure_window(0.0, 10.0, pids=[1, 2])
+        assert w.affects(1, 5.0)
+        assert not w.affects(3, 5.0)
+
+    def test_apply_duration(self):
+        w = failure_window(0.0, 1.0, duration=5.0)
+        assert w.apply(0.5) == 5.0
+        assert w.apply(7.0) == 7.0  # never shortens
+
+    def test_apply_stretch(self):
+        w = failure_window(0.0, 1.0, stretch=3.0)
+        assert w.apply(0.5) == 1.5
+
+    def test_violates_delta(self):
+        w = failure_window(0.0, 1.0, duration=5.0)
+        assert w.violates_delta(delta=1.0, nominal=0.5)
+        assert not w.violates_delta(delta=10.0, nominal=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingFailureWindow(2.0, 1.0)
+        with pytest.raises(ValueError):
+            TimingFailureWindow(0.0, 1.0, stretch=0.5)
+        with pytest.raises(ValueError):
+            TimingFailureWindow(0.0, 1.0, duration=0.0)
+
+
+class TestMergeWindows:
+    def test_disjoint(self):
+        spans = merge_windows([failure_window(0, 1), failure_window(2, 3)])
+        assert spans == [(0, 1), (2, 3)]
+
+    def test_overlapping_merged(self):
+        spans = merge_windows([failure_window(0, 2), failure_window(1, 3)])
+        assert spans == [(0, 3)]
+
+    def test_touching_merged(self):
+        spans = merge_windows([failure_window(0, 1), failure_window(1, 2)])
+        assert spans == [(0, 2)]
+
+    def test_empty(self):
+        assert merge_windows([]) == []
+
+
+class TestCrashSchedule:
+    def test_defaults_to_no_crashes(self):
+        cs = CrashSchedule.none()
+        assert cs.crash_time(0) == math.inf
+        assert cs.crash_step(0) == math.inf
+        assert not cs.crashes(0)
+
+    def test_at_time(self):
+        cs = CrashSchedule(at_time={1: 5.0})
+        assert cs.crash_time(1) == 5.0
+        assert cs.crashes(1)
+
+    def test_after_steps(self):
+        cs = CrashSchedule(after_steps={2: 3})
+        assert cs.crash_step(2) == 3
+
+    def test_crash_all_but(self):
+        cs = CrashSchedule.crash_all_but(survivor=1, pids=range(4), after_steps=2)
+        assert not cs.crashes(1)
+        assert all(cs.crash_step(p) == 2 for p in (0, 2, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(at_time={0: -1.0})
+        with pytest.raises(ValueError):
+            CrashSchedule(after_steps={0: -1})

@@ -1,0 +1,76 @@
+"""Regression tests: default-constructed algorithm instances never collide.
+
+Two objects built without explicit namespaces used to share a fixed
+prefix and silently corrupt each other's registers; defaults are now
+instance-unique (``RegisterNamespace.unique``)."""
+
+import pytest
+
+from repro.algorithms import AtConsensus, FischerLock, TicketLock
+from repro.core.consensus import TimeResilientConsensus
+from repro.core.derived import MultivaluedConsensus, Universal
+from repro.sim import ConstantTiming, Engine
+from repro.sim.registers import RegisterNamespace
+from repro.spec import QueueModel, StackModel
+
+
+def test_unique_namespaces_differ():
+    a = RegisterNamespace.unique("thing")
+    b = RegisterNamespace.unique("thing")
+    assert a.register("x") != b.register("x")
+
+
+def test_two_default_consensus_objects_independent():
+    a = TimeResilientConsensus(delta=1.0)
+    b = TimeResilientConsensus(delta=1.0)
+    assert a.decide != b.decide
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.5))
+    eng.spawn(a.propose(0, 0), pid=0)
+    eng.spawn(b.propose(1, 1), pid=1)
+    res = eng.run()
+    assert res.returns == {0: 0, 1: 1}  # truly independent decisions
+
+
+def test_two_default_locks_independent():
+    a = FischerLock(delta=1.0)
+    b = FischerLock(delta=1.0)
+    assert a.x != b.x
+
+
+def test_two_default_ticket_locks_independent():
+    a = TicketLock()
+    b = TicketLock()
+    assert a.next_ticket != b.next_ticket
+
+
+def test_two_default_universal_objects_coexist():
+    """The scenario that exposed the bug: a queue and a stack sharing a
+    run with default namespaces."""
+    queue = Universal(n=1, delta=1.0, model=QueueModel(), object_id="uq")
+    stack = Universal(n=1, delta=1.0, model=StackModel(), object_id="us")
+
+    def worker(pid):
+        q = queue.client(pid)
+        s = stack.client(pid)
+        yield from q.invoke("enqueue", "item")
+        yield from s.invoke("push", "thing")
+        a = yield from q.invoke("dequeue")
+        b = yield from s.invoke("pop")
+        return (a, b)
+
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.5), max_time=100_000.0)
+    eng.spawn(worker(0), pid=0)
+    res = eng.run()
+    assert res.returns[0] == ("item", "thing")
+
+
+def test_two_default_multivalued_objects_independent():
+    a = MultivaluedConsensus(n=2, delta=1.0)
+    b = MultivaluedConsensus(n=2, delta=1.0)
+    assert a.announce[0] != b.announce[0]
+
+
+def test_two_default_at_consensus_independent():
+    a = AtConsensus(delta=1.0)
+    b = AtConsensus(delta=1.0)
+    assert a.y != b.y

@@ -1,0 +1,96 @@
+"""Unit tests for register_leaf and the round-conflict adversary."""
+
+import pytest
+
+from repro.core.consensus import run_consensus
+from repro.sim import ConstantTiming, HookTiming, Read, Register, Write
+from repro.sim.adversary import register_leaf, round_conflict_hook
+from repro.sim.registers import RegisterNamespace
+from repro.sim.timing import StepContext
+
+
+class TestRegisterLeaf:
+    def test_plain_register_in_namespace(self):
+        r = RegisterNamespace("c").register("decide")
+        assert register_leaf(r.name) == "decide"
+
+    def test_array_cell_in_namespace(self):
+        arr = RegisterNamespace("c").array("x")
+        assert register_leaf(arr[1, 0].name) == "x"
+
+    def test_nested_namespaces(self):
+        ns = RegisterNamespace(("t", 1.0))
+        assert register_leaf(ns.register("decide").name) == "decide"
+        assert register_leaf(ns.array("y")[3].name) == "y"
+
+    def test_flat_name_passthrough(self):
+        assert register_leaf("plain") == "plain"
+
+    def test_deeply_nested_child(self):
+        ns = RegisterNamespace("a").child("b").child(("c", 2))
+        assert register_leaf(ns.array("x")[0].name) == "x"
+
+    def test_unique_default_namespaces(self):
+        """Regression: the unique-suffix discriminator must never be
+        mistaken for the register's leaf name."""
+        ns = RegisterNamespace.unique("consensus")
+        assert register_leaf(ns.register("decide").name) == "decide"
+        assert register_leaf(ns.array("x")[1, 0].name) == "x"
+        assert register_leaf(ns.array("y")[7].name) == "y"
+
+
+class TestRoundConflictHook:
+    def _ctx(self, op, pid):
+        return StepContext(pid=pid, op=op, now=0.0, step_index=0)
+
+    def test_x_writes_stalled_for_everyone(self):
+        hook = round_conflict_hook(delta=1.0)
+        ns = RegisterNamespace("c")
+        op = Write(ns.array("x")[1, 0], 1)
+        assert hook(self._ctx(op, 0), 0.01) == 1.0
+        assert hook(self._ctx(op, 1), 0.01) == 1.0
+
+    def test_slow_pid_y_writes_stalled(self):
+        hook = round_conflict_hook(delta=1.0, slow_pid=1, fast_pid=0)
+        ns = RegisterNamespace("c")
+        op = Write(ns.array("y")[1], 0)
+        assert hook(self._ctx(op, 1), 0.01) == 1.0
+        assert hook(self._ctx(op, 0), 0.01) is None
+
+    def test_fast_pid_decide_reads_stalled(self):
+        hook = round_conflict_hook(delta=1.0, slow_pid=1, fast_pid=0)
+        ns = RegisterNamespace("c")
+        op = Read(ns.register("decide"))
+        assert hook(self._ctx(op, 0), 0.01) == 1.0
+
+    def test_slow_pid_first_decide_read_only(self):
+        hook = round_conflict_hook(delta=1.0, slow_pid=1, fast_pid=0)
+        ns = RegisterNamespace("c")
+        op = Read(ns.register("decide"))
+        assert hook(self._ctx(op, 1), 0.01) == 1.0  # the first one
+        assert hook(self._ctx(op, 1), 0.01) is None  # never again
+
+    def test_other_registers_untouched(self):
+        hook = round_conflict_hook(delta=1.0)
+        op = Read(Register("unrelated"))
+        assert hook(self._ctx(op, 0), 0.01) is None
+
+
+class TestEndToEndThreshold:
+    """The adversary's defining property: a sharp liveness cliff at Δ."""
+
+    def _run(self, estimate):
+        timing = HookTiming(ConstantTiming(0.01), round_conflict_hook(1.0))
+        return run_consensus([0, 1], delta=1.0, timing=timing,
+                             algorithm_delta=estimate, max_time=80.0)
+
+    def test_below_delta_never_decides_but_safe(self):
+        result = self._run(0.5)
+        assert not result.verdict.terminated
+        assert result.verdict.safe
+
+    def test_at_delta_decides_round_two(self):
+        result = self._run(1.0)
+        assert result.verdict.ok
+        delays = [e for e in result.run.trace.for_pid(0) if e.kind == "delay"]
+        assert len(delays) == 1  # exactly one failed round

@@ -1,0 +1,105 @@
+"""Unit tests for the consensus specification checker."""
+
+import pytest
+
+from repro.sim import ConstantTiming, CrashSchedule, Engine, label, ops, read
+from repro.sim.registers import Register
+from repro.spec import check_consensus
+
+X = Register("x", 0)
+
+
+def deciding(pid, value):
+    yield read(X)
+    yield label(ops.DECIDED, value)
+    return value
+
+
+def silent(pid):
+    yield read(X)
+    return None  # finished but never decided — instrumentation bug shape
+
+
+def run(programs, crashes=None):
+    eng = Engine(delta=1.0, timing=ConstantTiming(0.5), crashes=crashes)
+    for pid, prog in enumerate(programs):
+        eng.spawn(prog, pid=pid)
+    return eng.run()
+
+
+def test_agreeing_run_ok():
+    res = run([deciding(0, 1), deciding(1, 1)])
+    v = check_consensus(res, {0: 1, 1: 1})
+    assert v.ok and v.safe
+    assert v.decisions == {0: 1, 1: 1}
+
+
+def test_disagreement_detected():
+    res = run([deciding(0, 0), deciding(1, 1)])
+    v = check_consensus(res, {0: 0, 1: 1})
+    assert not v.agreed
+    assert not v.safe
+    assert any("agreement" in msg for msg in v.violations)
+
+
+def test_invalid_value_detected():
+    res = run([deciding(0, 7)])
+    v = check_consensus(res, {0: 1})
+    assert not v.valid
+    assert any("validity" in msg for msg in v.violations)
+
+
+def test_missing_decision_is_termination_violation():
+    def undecided(pid):
+        yield read(X)
+
+    res = run([deciding(0, 1), undecided(1)])
+    v = check_consensus(res, {0: 1, 1: 1})
+    assert v.safe and not v.terminated
+    assert any("termination" in msg for msg in v.violations)
+
+
+def test_termination_not_required_mode():
+    def undecided(pid):
+        yield read(X)
+
+    res = run([deciding(0, 1), undecided(1)])
+    v = check_consensus(res, {0: 1, 1: 1}, require_termination=False)
+    assert v.safe
+    assert not v.terminated
+    assert v.violations == []
+
+
+def test_crashed_process_not_required_to_decide():
+    res = run(
+        [deciding(0, 1), deciding(1, 1)],
+        crashes=CrashSchedule(after_steps={1: 0}),
+    )
+    v = check_consensus(res, {0: 1, 1: 1})
+    assert v.ok
+
+
+def test_expected_decided_override():
+    def undecided(pid):
+        yield read(X)
+
+    res = run([deciding(0, 1), undecided(1)])
+    v = check_consensus(res, {0: 1, 1: 1}, expected_decided=[0])
+    assert v.ok
+
+
+def test_label_and_return_mismatch_raises():
+    def lying(pid):
+        yield read(X)
+        yield label(ops.DECIDED, 1)
+        return 0
+
+    res = run([lying(0)])
+    with pytest.raises(ValueError, match="inconsistent"):
+        check_consensus(res, {0: 1})
+
+
+def test_safe_property_combines_validity_and_agreement():
+    res = run([deciding(0, 7), deciding(1, 7)])
+    v = check_consensus(res, {0: 1, 1: 1})
+    assert v.agreed and not v.valid and not v.safe

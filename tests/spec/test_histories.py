@@ -1,0 +1,80 @@
+"""Unit tests for extracting object histories from traces."""
+
+import pytest
+
+from repro.sim.trace import EventKind, Trace, TraceEvent
+from repro.spec.histories import INVOKE, RESPOND, history_from_trace
+
+
+def lbl(seq, pid, kind, t, payload):
+    return TraceEvent(
+        seq=seq, pid=pid, kind=EventKind.LABEL, issued=t, completed=t,
+        label=kind, value=payload,
+    )
+
+
+def test_invoke_respond_pairing():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 0, INVOKE, 1.0, ("q", "enqueue", (5,))))
+    tr.append(lbl(1, 0, RESPOND, 2.0, ("q", None)))
+    h = history_from_trace(tr)
+    assert len(h) == 1
+    (operation,) = h
+    assert operation.name == "enqueue"
+    assert operation.args == (5,)
+    assert operation.result is None
+    assert operation.invoked == 1.0 and operation.responded == 2.0
+
+
+def test_interleaved_processes():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 0, INVOKE, 1.0, ("q", "enqueue", (5,))))
+    tr.append(lbl(1, 1, INVOKE, 1.5, ("q", "dequeue", ())))
+    tr.append(lbl(2, 1, RESPOND, 2.0, ("q", 5)))
+    tr.append(lbl(3, 0, RESPOND, 2.5, ("q", None)))
+    h = history_from_trace(tr)
+    assert len(h) == 2
+    assert {o.pid for o in h} == {0, 1}
+
+
+def test_object_filter():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 0, INVOKE, 1.0, ("a", "read", ())))
+    tr.append(lbl(1, 0, RESPOND, 2.0, ("a", 0)))
+    tr.append(lbl(2, 0, INVOKE, 3.0, ("b", "read", ())))
+    tr.append(lbl(3, 0, RESPOND, 4.0, ("b", 1)))
+    h = history_from_trace(tr, obj="b")
+    assert len(h) == 1
+    assert h.operations[0].result == 1
+
+
+def test_unanswered_invocation_dropped():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 0, INVOKE, 1.0, ("q", "enqueue", (5,))))
+    h = history_from_trace(tr)
+    assert len(h) == 0
+
+
+def test_double_invoke_rejected():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 0, INVOKE, 1.0, ("q", "enqueue", (5,))))
+    tr.append(lbl(1, 0, INVOKE, 2.0, ("q", "enqueue", (6,))))
+    with pytest.raises(ValueError, match="pending"):
+        history_from_trace(tr)
+
+
+def test_respond_without_invoke_rejected():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 0, RESPOND, 1.0, ("q", 5)))
+    with pytest.raises(ValueError, match="without"):
+        history_from_trace(tr)
+
+
+def test_sorted_by_invocation():
+    tr = Trace(delta=1.0)
+    tr.append(lbl(0, 1, INVOKE, 1.0, ("q", "a", ())))
+    tr.append(lbl(1, 0, INVOKE, 2.0, ("q", "b", ())))
+    tr.append(lbl(2, 1, RESPOND, 3.0, ("q", 0)))
+    tr.append(lbl(3, 0, RESPOND, 4.0, ("q", 0)))
+    h = history_from_trace(tr)
+    assert [o.name for o in h.sorted_by_invocation()] == ["a", "b"]

@@ -1,0 +1,216 @@
+"""Unit tests for histories and the linearizability checker."""
+
+import pytest
+
+from repro.spec.histories import History, Operation
+from repro.spec.linearizability import (
+    ConsensusModel,
+    CounterModel,
+    QueueModel,
+    RegisterModel,
+    StackModel,
+    TestAndSetModel,
+    check_linearizability,
+)
+
+
+def op(pid, name, args, result, invoked, responded):
+    return Operation(pid, name, tuple(args), result, invoked, responded)
+
+
+def hist(*operations):
+    h = History()
+    h.operations.extend(operations)
+    return h
+
+
+class TestHistory:
+    def test_response_before_invocation_rejected(self):
+        with pytest.raises(ValueError):
+            op(0, "read", (), 0, 5.0, 4.0)
+
+    def test_precedes(self):
+        a = op(0, "w", (1,), None, 0, 1)
+        b = op(1, "r", (), 1, 2, 3)
+        assert a.precedes(b)
+        assert not b.precedes(a)
+
+    def test_is_sequential(self):
+        assert hist(op(0, "a", (), 0, 0, 1), op(1, "b", (), 0, 2, 3)).is_sequential()
+        assert not hist(op(0, "a", (), 0, 0, 2), op(1, "b", (), 0, 1, 3)).is_sequential()
+
+    def test_per_pid_well_formed(self):
+        good = hist(op(0, "a", (), 0, 0, 1), op(0, "b", (), 0, 2, 3))
+        assert good.per_pid_well_formed()
+        bad = hist(op(0, "a", (), 0, 0, 2), op(0, "b", (), 0, 1, 3))
+        assert not bad.per_pid_well_formed()
+
+
+class TestRegister:
+    def test_sequential_read_write(self):
+        h = hist(
+            op(0, "write", (5,), None, 0, 1),
+            op(1, "read", (), 5, 2, 3),
+        )
+        assert check_linearizability(h, RegisterModel()).ok
+
+    def test_stale_read_after_write_not_linearizable(self):
+        h = hist(
+            op(0, "write", (5,), None, 0, 1),
+            op(1, "read", (), 0, 2, 3),  # reads initial AFTER the write finished
+        )
+        assert not check_linearizability(h, RegisterModel()).ok
+
+    def test_concurrent_read_may_see_either(self):
+        h = hist(
+            op(0, "write", (5,), None, 0, 4),
+            op(1, "read", (), 0, 1, 2),  # overlaps the write: 0 is fine
+        )
+        assert check_linearizability(h, RegisterModel()).ok
+
+
+class TestQueue:
+    def test_fifo_respected(self):
+        h = hist(
+            op(0, "enqueue", (1,), None, 0, 1),
+            op(0, "enqueue", (2,), None, 2, 3),
+            op(1, "dequeue", (), 1, 4, 5),
+            op(1, "dequeue", (), 2, 6, 7),
+        )
+        assert check_linearizability(h, QueueModel()).ok
+
+    def test_lifo_rejected_for_queue(self):
+        h = hist(
+            op(0, "enqueue", (1,), None, 0, 1),
+            op(0, "enqueue", (2,), None, 2, 3),
+            op(1, "dequeue", (), 2, 4, 5),  # should have been 1
+            op(1, "dequeue", (), 1, 6, 7),
+        )
+        assert not check_linearizability(h, QueueModel()).ok
+
+    def test_concurrent_enqueues_any_order(self):
+        h = hist(
+            op(0, "enqueue", (1,), None, 0, 3),
+            op(1, "enqueue", (2,), None, 0, 3),
+            op(2, "dequeue", (), 2, 4, 5),
+            op(2, "dequeue", (), 1, 6, 7),
+        )
+        assert check_linearizability(h, QueueModel()).ok
+
+    def test_empty_dequeue(self):
+        h = hist(op(0, "dequeue", (), None, 0, 1))
+        assert check_linearizability(h, QueueModel()).ok
+
+
+class TestStack:
+    def test_lifo_respected(self):
+        h = hist(
+            op(0, "push", (1,), None, 0, 1),
+            op(0, "push", (2,), None, 2, 3),
+            op(1, "pop", (), 2, 4, 5),
+            op(1, "pop", (), 1, 6, 7),
+        )
+        assert check_linearizability(h, StackModel()).ok
+
+    def test_fifo_rejected_for_stack(self):
+        h = hist(
+            op(0, "push", (1,), None, 0, 1),
+            op(0, "push", (2,), None, 2, 3),
+            op(1, "pop", (), 1, 4, 5),
+            op(1, "pop", (), 2, 6, 7),
+        )
+        assert not check_linearizability(h, StackModel()).ok
+
+
+class TestTas:
+    def test_single_winner_ok(self):
+        h = hist(
+            op(0, "test_and_set", (), 0, 0, 3),
+            op(1, "test_and_set", (), 1, 1, 4),
+        )
+        assert check_linearizability(h, TestAndSetModel()).ok
+
+    def test_two_winners_rejected(self):
+        h = hist(
+            op(0, "test_and_set", (), 0, 0, 1),
+            op(1, "test_and_set", (), 0, 2, 3),
+        )
+        assert not check_linearizability(h, TestAndSetModel()).ok
+
+    def test_loser_before_winner_rejected(self):
+        # pid0 got 1 (lost) strictly before pid1 even invoked: impossible.
+        h = hist(
+            op(0, "test_and_set", (), 1, 0, 1),
+            op(1, "test_and_set", (), 0, 2, 3),
+        )
+        assert not check_linearizability(h, TestAndSetModel()).ok
+
+
+class TestConsensusModel:
+    def test_first_propose_wins(self):
+        h = hist(
+            op(0, "propose", (5,), 5, 0, 1),
+            op(1, "propose", (9,), 5, 2, 3),
+        )
+        assert check_linearizability(h, ConsensusModel()).ok
+
+    def test_conflicting_decisions_rejected(self):
+        h = hist(
+            op(0, "propose", (5,), 5, 0, 1),
+            op(1, "propose", (9,), 9, 2, 3),
+        )
+        assert not check_linearizability(h, ConsensusModel()).ok
+
+
+class TestCounter:
+    def test_increments_unique(self):
+        h = hist(
+            op(0, "increment", (), 0, 0, 3),
+            op(1, "increment", (), 1, 0, 3),
+            op(0, "read", (), 2, 4, 5),
+        )
+        assert check_linearizability(h, CounterModel()).ok
+
+    def test_duplicate_increment_results_rejected(self):
+        h = hist(
+            op(0, "increment", (), 0, 0, 1),
+            op(1, "increment", (), 0, 2, 3),
+        )
+        assert not check_linearizability(h, CounterModel()).ok
+
+
+class TestPending:
+    def test_pending_op_may_have_taken_effect(self):
+        # pid0's enqueue never responded (crash), but pid1 dequeues its value.
+        pending = [op(0, "enqueue", (7,), None, 0, 10)]
+        h = hist(op(1, "dequeue", (), 7, 1, 2))
+        assert check_linearizability(h, QueueModel(), pending=pending).ok
+
+    def test_pending_op_may_be_dropped(self):
+        pending = [op(0, "enqueue", (7,), None, 0, 10)]
+        h = hist(op(1, "dequeue", (), None, 1, 2))  # empty queue observed
+        assert check_linearizability(h, QueueModel(), pending=pending).ok
+
+    def test_result_from_nowhere_still_rejected(self):
+        pending = [op(0, "enqueue", (7,), None, 5, 10)]
+        h = hist(op(1, "dequeue", (), 3, 1, 2))  # 3 was never enqueued
+        assert not check_linearizability(h, QueueModel(), pending=pending).ok
+
+
+class TestWitness:
+    def test_witness_is_legal_order(self):
+        h = hist(
+            op(0, "enqueue", (1,), None, 0, 1),
+            op(1, "dequeue", (), 1, 2, 3),
+        )
+        res = check_linearizability(h, QueueModel())
+        assert res.ok
+        assert [o.name for o in res.witness] == ["enqueue", "dequeue"]
+
+    def test_malformed_history_rejected(self):
+        h = hist(
+            op(0, "enqueue", (1,), None, 0, 5),
+            op(0, "dequeue", (), 1, 1, 2),  # same pid, overlapping
+        )
+        with pytest.raises(ValueError):
+            check_linearizability(h, QueueModel())

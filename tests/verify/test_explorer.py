@@ -1,0 +1,176 @@
+"""Tests for the model checker: exhaustive safety checks of the paper's
+algorithms on small configurations (experiments E6 and E13 in miniature)."""
+
+import pytest
+
+from repro.algorithms import FischerLock, LamportFastLock, PetersonTwoProcess, mutex_session
+from repro.core.consensus import TimeResilientConsensus, labeled_decision
+from repro.core.mutex import default_time_resilient_mutex
+from repro.sim import ops
+from repro.sim.registers import Register
+from repro.verify import (
+    AgreementProperty,
+    InvariantProperty,
+    MutualExclusionProperty,
+    ValidityProperty,
+    explore,
+    replay_schedule,
+)
+
+X = Register("mx", 0)
+
+
+def lock_factories(lock, n, cs_duration=1.0):
+    return {
+        pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=cs_duration))
+        for pid in range(n)
+    }
+
+
+class TestExplorerMechanics:
+    def test_counts_states(self):
+        def prog(pid):
+            yield ops.write(X, pid)
+
+        res = explore({0: prog, 1: prog}, [], max_ops=5)
+        assert res.ok and res.complete
+        # states: initial, after each single write, after both orders
+        # (memoized: final states with same memory+histories merge).
+        assert res.states >= 3
+        assert res.terminal_states >= 1
+
+    def test_max_states_marks_incomplete(self):
+        def spinner(pid):
+            while True:
+                v = yield ops.read(X)
+                yield ops.write(X, (v + 1) % 100)
+
+        res = explore({0: spinner, 1: spinner}, [], max_ops=30, max_states=50)
+        assert not res.complete
+
+    def test_invariant_violation_found_with_schedule(self):
+        def prog(pid):
+            v = yield ops.read(X)
+            yield ops.write(X, v + 1)
+
+        # "x never reaches 2" is violated only by the sequential order.
+        prop = InvariantProperty(
+            lambda sb: sb.memory.peek(X) < 2, name="x<2", message="x reached 2"
+        )
+        res = explore({0: prog, 1: prog}, [prop], max_ops=5,
+                      stop_at_first_violation=True)
+        assert not res.ok
+        schedule = res.violations[0].schedule
+        sb = replay_schedule({0: prog, 1: prog}, schedule, max_ops=5)
+        assert sb.memory.peek(X) == 2
+
+    def test_on_terminal_hook(self):
+        def prog(pid):
+            yield ops.write(X, 1)
+
+        res = explore(
+            {0: prog},
+            [],
+            max_ops=5,
+            on_terminal=lambda sb: None if sb.done(0) else "p0 stuck",
+        )
+        assert res.ok
+
+    def test_stop_at_first_violation_false_collects_all(self):
+        def prog(pid):
+            yield ops.write(X, pid + 1)
+
+        prop = InvariantProperty(
+            lambda sb: sb.memory.peek(X) == 0, name="never", message="x written"
+        )
+        res = explore({0: prog, 1: prog}, [prop], max_ops=5,
+                      stop_at_first_violation=False)
+        assert len(res.violations) >= 2
+
+
+class TestPaperSafetyTheorems:
+    def test_fischer_violation_found(self):
+        """E13: the checker finds Fischer's loss of exclusion (Thm ref §3.1)."""
+        lock = FischerLock(delta=1.0)
+        res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                      max_ops=30)
+        assert not res.ok
+        assert res.violations[0].property_name == "mutual_exclusion"
+        # The witness is short — the classic interleaving.
+        assert len(res.violations[0].schedule) <= 12
+
+    def test_lamport_fast_exclusion_exhaustive(self):
+        lock = LamportFastLock(2)
+        res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                      max_ops=40)
+        assert res.ok and res.complete
+
+    def test_peterson_exclusion_exhaustive(self):
+        lock = PetersonTwoProcess()
+        res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                      max_ops=30)
+        assert res.ok and res.complete
+
+    def test_algorithm1_agreement_validity_exhaustive_n2(self):
+        """E6: Theorems 2.2/2.3 machine-checked for n=2, conflicting inputs."""
+        consensus = TimeResilientConsensus(delta=1.0, max_rounds=2)
+        inputs = {0: 0, 1: 1}
+        factories = {
+            pid: (lambda p: labeled_decision(consensus.propose(p, inputs[p])))
+            for pid in inputs
+        }
+        res = explore(
+            factories,
+            [AgreementProperty(), ValidityProperty(inputs)],
+            max_ops=30,
+        )
+        assert res.ok and res.complete
+        assert res.states > 100  # a real exploration, not a vacuous one
+
+    def test_algorithm1_unanimous_decides_input(self):
+        consensus = TimeResilientConsensus(delta=1.0, max_rounds=2)
+        inputs = {0: 1, 1: 1}
+        factories = {
+            pid: (lambda p: labeled_decision(consensus.propose(p, inputs[p])))
+            for pid in inputs
+        }
+
+        def all_decided_one(sandbox):
+            for pid in (0, 1):
+                if sandbox.done(pid) and sandbox.decisions.get(pid) != 1:
+                    return f"pid {pid} decided {sandbox.decisions.get(pid)}"
+            return None
+
+        res = explore(
+            factories,
+            [AgreementProperty(), ValidityProperty(inputs)],
+            max_ops=30,
+            on_terminal=all_decided_one,
+        )
+        assert res.ok and res.complete
+
+    @pytest.mark.slow
+    def test_algorithm3_exclusion_exhaustive_n2(self):
+        """Algorithm 3's stabilization, exhaustively (slower: ~2 min)."""
+        lock = default_time_resilient_mutex(2, delta=1.0)
+        res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                      max_ops=40)
+        assert res.ok and res.complete
+
+    def test_algorithm3_exclusion_bounded_n2(self):
+        """A cheaper bounded variant of the exhaustive check above."""
+        lock = default_time_resilient_mutex(2, delta=1.0)
+        res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                      max_ops=24)
+        assert res.ok and res.complete
+
+    def test_at_consensus_agreement_violation_found(self):
+        """The non-resilient building block loses agreement under asynchrony."""
+        from repro.algorithms import AtConsensus
+
+        algo = AtConsensus(delta=1.0)
+        inputs = {0: 0, 1: 1}
+        factories = {pid: (lambda p: algo.propose(p, inputs[p])) for pid in inputs}
+        res = explore(factories, [AgreementProperty()], max_ops=20)
+        assert not res.ok
+        assert res.violations[0].property_name == "agreement"

@@ -1,0 +1,77 @@
+"""Additional exhaustive safety checks across the algorithm zoo."""
+
+import pytest
+
+from repro.algorithms import BakeryLock, BlackWhiteBakeryLock, FilterLock, mutex_session
+from repro.algorithms import TestAndSetLock as TasLock  # avoid pytest collection
+from repro.core.bounded import BoundedConsensus
+from repro.core.consensus import labeled_decision
+from repro.sim.registers import RegisterNamespace
+from repro.verify import (
+    AgreementProperty,
+    MutualExclusionProperty,
+    ValidityProperty,
+    explore,
+)
+
+
+def lock_factories(lock, n):
+    return {
+        pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=1.0))
+        for pid in range(n)
+    }
+
+
+@pytest.mark.parametrize(
+    "make_lock",
+    [
+        lambda: BakeryLock(2, namespace=RegisterNamespace("xb")),
+        lambda: BlackWhiteBakeryLock(2, namespace=RegisterNamespace("xbw")),
+        lambda: FilterLock(2, namespace=RegisterNamespace("xf")),
+        lambda: TasLock(namespace=RegisterNamespace("xt")),
+    ],
+    ids=["bakery", "black_white_bakery", "filter", "tas_lock"],
+)
+def test_exhaustive_exclusion_n2(make_lock):
+    lock = make_lock()
+    res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                  max_ops=28)
+    assert res.ok and res.complete, res
+
+
+def test_bounded_consensus_exhaustive_safety():
+    """The finite-register variant keeps Algorithm 1's safety.
+
+    The asynchronous exploration ignores timing entirely, so the round
+    budget must exceed what max_ops can start (the checker deliberately
+    violates any timing assumption); with a budget of 10 rounds and a
+    28-op bound no schedule can trip it, and safety is checked on every
+    interleaving prefix.
+    """
+    c = BoundedConsensus(delta=1.0, failure_bound=25.0, min_step=0.5,
+                         namespace=RegisterNamespace("xbc"))
+    assert c.max_rounds >= 10
+    inputs = {0: 0, 1: 1}
+    factories = {
+        pid: (lambda p: labeled_decision(c.propose(p, inputs[p])))
+        for pid in inputs
+    }
+    res = explore(
+        factories,
+        [AgreementProperty(), ValidityProperty(inputs)],
+        max_ops=26,
+    )
+    assert res.ok
+
+
+def test_violation_schedules_are_minimal_for_fischer():
+    """Collect all shortest violating schedules — documentation of the bug."""
+    from repro.algorithms import FischerLock
+
+    lock = FischerLock(delta=1.0, namespace=RegisterNamespace("xfi"))
+    res = explore(lock_factories(lock, 2), [MutualExclusionProperty()],
+                  max_ops=14, stop_at_first_violation=False,
+                  max_states=100_000)
+    assert res.violations
+    shortest = min(len(v.schedule) for v in res.violations)
+    assert shortest == 6  # read0, read1, write, check, write, check

@@ -1,0 +1,162 @@
+"""Unit tests for the asynchronous replay sandbox."""
+
+import pytest
+
+from repro.sim import ops
+from repro.sim.registers import Register
+from repro.verify.sandbox import Sandbox
+
+X = Register("x", 0)
+Y = Register("y", 0)
+
+
+def incrementer(pid):
+    v = yield ops.read(X)
+    yield ops.write(X, v + 1)
+    return v
+
+
+def test_initial_state_parks_at_first_shared_op():
+    sb = Sandbox({0: incrementer}, max_ops=10)
+    assert sb.enabled() == [0]
+    assert not sb.done(0)
+
+
+def test_step_executes_linearization():
+    sb = Sandbox({0: incrementer}, max_ops=10)
+    sb.step(0)  # read
+    sb.step(0)  # write
+    assert sb.done(0)
+    assert sb.result(0) == 0
+    assert sb.memory.peek(X) == 1
+
+
+def test_lost_update_interleaving():
+    """The classic race: both read 0, both write 1."""
+    sb = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb.step(0)  # p0 reads 0
+    sb.step(1)  # p1 reads 0
+    sb.step(0)
+    sb.step(1)
+    assert sb.memory.peek(X) == 1  # the lost update, observable
+
+
+def test_sequential_interleaving():
+    sb = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb.step(0)
+    sb.step(0)
+    sb.step(1)
+    sb.step(1)
+    assert sb.memory.peek(X) == 2
+
+
+def test_delay_is_noop():
+    def prog(pid):
+        yield ops.delay(100.0)
+        yield ops.write(X, 1)
+
+    sb = Sandbox({0: prog}, max_ops=10)
+    sb.step(0)  # goes straight to the write
+    assert sb.done(0)
+
+
+def test_positive_local_work_is_pause_point():
+    def prog(pid):
+        yield ops.label(ops.CS_ENTER)
+        yield ops.local_work(1.0)
+        yield ops.label(ops.CS_EXIT)
+        yield ops.write(X, 1)
+
+    sb = Sandbox({0: prog}, max_ops=10)
+    assert sb.in_cs == {0}  # parked inside the CS
+    sb.step(0)  # finish the pause
+    assert sb.in_cs == set()
+    sb.step(0)
+    assert sb.done(0)
+
+
+def test_zero_local_work_skipped():
+    def prog(pid):
+        yield ops.local_work(0.0)
+        yield ops.write(X, 1)
+
+    sb = Sandbox({0: prog}, max_ops=10)
+    sb.step(0)
+    assert sb.done(0)
+
+
+def test_decided_labels_tracked():
+    def prog(pid):
+        yield ops.write(X, 1)
+        yield ops.label(ops.DECIDED, 42)
+
+    sb = Sandbox({0: prog}, max_ops=10)
+    sb.step(0)
+    assert sb.decisions == {0: 42}
+
+
+def test_op_bound_suspends():
+    def spinner(pid):
+        while True:
+            yield ops.read(X)
+
+    sb = Sandbox({0: spinner}, max_ops=3)
+    for _ in range(3):
+        sb.step(0)
+    assert sb.enabled() == []
+    assert sb.suspended() == [0]
+    with pytest.raises(ValueError):
+        sb.step(0)
+
+
+def test_fingerprint_equal_for_equivalent_states():
+    sb1 = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb2 = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb1.step(0)
+    sb2.step(0)
+    assert sb1.fingerprint() == sb2.fingerprint()
+
+
+def test_fingerprint_differs_after_different_histories():
+    sb1 = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb2 = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb1.step(0)
+    sb2.step(1)
+    assert sb1.fingerprint() != sb2.fingerprint()
+
+
+def test_fingerprint_distinguishes_read_values():
+    sb1 = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    sb2 = Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+    # sb1: p0 reads 0. sb2: p1 increments fully first, then p0 reads 1.
+    sb1.step(0)
+    sb2.step(1)
+    sb2.step(1)
+    sb2.step(0)
+    assert sb1.fingerprint() != sb2.fingerprint()
+
+
+def test_all_quiescent():
+    sb = Sandbox({0: incrementer}, max_ops=10)
+    assert not sb.all_quiescent()
+    sb.step(0)
+    sb.step(0)
+    assert sb.all_quiescent()
+
+
+def test_non_op_yield_rejected():
+    def bad(pid):
+        yield 7
+
+    with pytest.raises(TypeError):
+        Sandbox({0: bad}, max_ops=10)
+
+
+def test_double_cs_enter_rejected():
+    def bad(pid):
+        yield ops.label(ops.CS_ENTER)
+        yield ops.label(ops.CS_ENTER)
+        yield ops.write(X, 1)
+
+    with pytest.raises(RuntimeError, match="twice"):
+        Sandbox({0: bad}, max_ops=10)
