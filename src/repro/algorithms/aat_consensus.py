@@ -17,6 +17,8 @@ estimate relative to the true ``Δ``, the more (and longer) rounds this
 algorithm burns, while Algorithm 1 stays at ``c·Δ``.
 """
 
+# repro-lint: registers-only  (adaptive variant, atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Any, Optional

@@ -27,6 +27,8 @@ notion of resilience closes.  (Algorithm 1 turns the unsafe "decide
 ``y``" into the safe "adopt ``y`` as next round's preference".)
 """
 
+# repro-lint: registers-only  (one-shot fast consensus from atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Any, Optional

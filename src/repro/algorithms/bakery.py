@@ -21,6 +21,8 @@ is :mod:`repro.algorithms.black_white_bakery`.
     exit(i):   number[i] := 0
 """
 
+# repro-lint: registers-only  (the bakery uses safe/atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional
@@ -42,8 +44,8 @@ class BakeryLock(MutexAlgorithm):
             raise ValueError(f"n must be >= 1, got {n}")
         self.n = n
         ns = namespace if namespace is not None else RegisterNamespace.unique("bakery")
-        self.choosing = ns.array("choosing", False)
-        self.number = ns.array("number", 0)
+        self.choosing = ns.array("choosing", False)  # repro-lint: single-writer
+        self.number = ns.array("number", 0)  # repro-lint: single-writer
 
     @property
     def properties(self) -> MutexProperties:

@@ -34,6 +34,8 @@ steps on entry (write ``interested``, read ``turn``, read
 ``interested``) plus the inner lock's own constant solo path.
 """
 
+# repro-lint: registers-only  (Bar-David's lock, atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional
@@ -77,7 +79,7 @@ class BarDavidLock(MutexAlgorithm):
         self.inner = inner
         self.n = n
         ns = namespace if namespace is not None else RegisterNamespace.unique("bar_david")
-        self.interested = ns.array("interested", False)
+        self.interested = ns.array("interested", False)  # repro-lint: single-writer
         self.turn = ns.register("turn", 0)
         self.cont = ns.register("cont", False)
         self.name = f"bar_david({inner.name})"

@@ -32,6 +32,8 @@ as an asynchronous baseline in experiment E7.
               number[i] := 0
 """
 
+# repro-lint: registers-only  (bounded bakery, atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional
@@ -57,9 +59,9 @@ class BlackWhiteBakeryLock(MutexAlgorithm):
         self.n = n
         ns = namespace if namespace is not None else RegisterNamespace.unique("bw_bakery")
         self.color = ns.register("color", BLACK)
-        self.choosing = ns.array("choosing", False)
-        self.number = ns.array("number", 0)
-        self.mycolor = ns.array("mycolor", BLACK)
+        self.choosing = ns.array("choosing", False)  # repro-lint: single-writer
+        self.number = ns.array("number", 0)  # repro-lint: single-writer
+        self.mycolor = ns.array("mycolor", BLACK)  # repro-lint: single-writer
 
     @property
     def properties(self) -> MutexProperties:

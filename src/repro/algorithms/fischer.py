@@ -25,6 +25,8 @@ The lock is *fast* (contention-free entry: read, write, delay, read) and
 deadlock-free, but not starvation-free.
 """
 
+# repro-lint: registers-only  (Fischer's lock uses one atomic register)
+
 from __future__ import annotations
 
 from typing import Optional

@@ -26,6 +26,8 @@ This is an asynchronous algorithm: it never consults the clock, so all of
 its properties are immune to timing failures.
 """
 
+# repro-lint: registers-only  (Lamport's fast lock, atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional

@@ -9,6 +9,8 @@ overall fairness is weaker than the bakery's, which the fairness tests
 exhibit.
 """
 
+# repro-lint: registers-only  (Peterson/filter, atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional
@@ -98,7 +100,7 @@ class FilterLock(MutexAlgorithm):
             raise ValueError(f"n must be >= 1, got {n}")
         self.n = n
         ns = namespace if namespace is not None else RegisterNamespace.unique("filter")
-        self.level = ns.array("level", 0)
+        self.level = ns.array("level", 0)  # repro-lint: single-writer
         self.victim = ns.array("victim", -1)
 
     @property

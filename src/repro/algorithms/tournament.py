@@ -10,6 +10,8 @@ contention, so the lock is *not* fast — a useful middle point between the
 bakery (``Θ(n)``) and the fast locks in experiment E7's comparison.
 """
 
+# repro-lint: registers-only  (tournament tree of Peterson locks, registers alone)
+
 from __future__ import annotations
 
 from typing import List, Optional, Tuple

@@ -28,6 +28,8 @@ floods ``A``; the estimate grows past the true bound; the doorway
 serializes again (embedded population returns to 1).
 """
 
+# repro-lint: registers-only  (self-tuning Algorithm 3, atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional
@@ -94,10 +96,11 @@ class AdaptiveMutex(MutexAlgorithm):
         self.shrink_after = shrink_after
         self.shrink_step = float(shrink_step)
         self.ceiling = float(ceiling)
-        # Per-process uncontended streaks (local bookkeeping; pids are
-        # hashable keys, safe because entry/exit of one pid never runs
-        # concurrently with itself).
-        self._streaks: dict = {}
+        # Per-process uncontended streaks.  Each process reads and writes
+        # only its own cell, so these are honest single-writer registers —
+        # keeping them in shared memory (rather than instance state) keeps
+        # the model checker's fingerprints and the threaded backend sound.
+        self.streaks = ns.array("streak", 0)  # repro-lint: single-writer
         self.name = f"adaptive({inner.name})"
 
     @property
@@ -112,7 +115,12 @@ class AdaptiveMutex(MutexAlgorithm):
 
     def register_count(self, n: int) -> Optional[int]:
         inner_count = self.inner.register_count(n)
-        return None if inner_count is None else inner_count + 3  # x, estimate, cs_seq
+        if inner_count is None:
+            return None
+        # x, estimate, cs_seq; plus one streak cell per process when the
+        # shrink policy is active (the only regime that touches them).
+        extra = n if self.shrink_after else 0
+        return inner_count + 3 + extra
 
     def entry(self, pid: int) -> Program:
         # Doorway with the *current shared estimate* as the delay.
@@ -157,17 +165,19 @@ class AdaptiveMutex(MutexAlgorithm):
         if waited > 0 or breached:
             # The doorway was breached: the estimate lost to real step
             # times.  Multiplicative increase (racy, harmless).
-            self._streaks[pid] = 0
+            if self.shrink_after:
+                yield self.streaks[pid].write(0)
             current = yield self.estimate.read()
             yield self.estimate.write(min(current * self.growth, self.ceiling))
-        else:
-            streak = self._streaks.get(pid, 0) + 1
-            self._streaks[pid] = streak
-            if self.shrink_after and streak >= self.shrink_after:
-                self._streaks[pid] = 0
+        elif self.shrink_after:
+            streak = (yield self.streaks[pid].read()) + 1
+            if streak >= self.shrink_after:
+                yield self.streaks[pid].write(0)
                 current = yield self.estimate.read()
                 shrunk = max(current - self.shrink_step, 1e-9)
                 yield self.estimate.write(shrunk)
+            else:
+                yield self.streaks[pid].write(streak)
 
     def exit(self, pid: int) -> Program:
         yield from self.inner.exit(pid)

@@ -25,6 +25,8 @@ is never hit; the implementation verifies this at runtime and fails
 loudly (rather than silently wrapping) if the assumption was violated.
 """
 
+# repro-lint: registers-only  (bounded-space variant, atomic registers alone)
+
 from __future__ import annotations
 
 import math

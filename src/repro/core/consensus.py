@@ -43,6 +43,8 @@ The infinite arrays are dict-backed in our memory, so the implementation
 really does use the paper's unbounded register space (see DESIGN.md §6).
 """
 
+# repro-lint: registers-only  (Theorems 2.1-2.3 are proved from atomic registers alone)
+
 from __future__ import annotations
 
 import math

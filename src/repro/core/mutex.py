@@ -39,6 +39,8 @@ paper's recommended instantiation — the Bar-David transformation applied
 to Lamport's fast lock.
 """
 
+# repro-lint: registers-only  (Theorems 3.2-3.3 are proved from atomic registers alone)
+
 from __future__ import annotations
 
 from typing import Optional

@@ -1,0 +1,18 @@
+"""Entry point for ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Output piped into a pager/head that closed early; exit quietly
+    # (devnull swap stops the interpreter's shutdown-flush complaint).
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

@@ -1,0 +1,74 @@
+"""Diagnostics emitted by the model-conformance analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Codes
+are stable (``TMF001``…) so suppression comments, CI grep lines and the
+docs never drift when rules are renamed or reordered; ``TMF`` stands for
+*timing-model failure*, the class of bug the paper's proofs assume away
+and this analyzer guards against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings invalidate the reproduction's claims outright (a
+    forbidden primitive in a registers-only proof, nondeterminism inside a
+    program body).  ``WARNING`` findings are conventions whose violation
+    is suspicious but occasionally intended (a literal ``delay`` bound).
+    Both fail the CLI; the distinction is for readers and reports.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line`` and ``column`` are 1-based and 0-based respectively,
+    matching CPython's ``ast`` node coordinates (and every editor's
+    ``file:line:col`` convention for the rendered form).
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: Severity = Severity.ERROR
+    rule: str = ""
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.column, self.code)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity.value,
+            "rule": self.rule,
+        }
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col: CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )

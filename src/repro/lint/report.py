@@ -1,0 +1,42 @@
+"""Rendering lint results for terminals and machines."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import Finding, Severity
+
+__all__ = ["render_text", "render_json", "summarize"]
+
+
+def summarize(findings: Sequence[Finding], files_checked: int) -> str:
+    """The one-line trailer of the text report."""
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if not findings:
+        return f"{files_checked} file(s) checked: clean"
+    return (
+        f"{files_checked} file(s) checked: {errors} error(s), "
+        f"{warnings} warning(s)"
+    )
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """One finding per line, sorted by location, plus a summary trailer."""
+    lines: List[str] = [f.render() for f in sorted(findings, key=lambda f: f.sort_key)]
+    lines.append(summarize(findings, files_checked))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """A stable JSON document (``findings`` sorted as in the text form)."""
+    doc: Dict[str, object] = {
+        "files_checked": files_checked,
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,29 @@
+"""The initial rule set — importing this package registers every rule.
+
+Each module holds one rule; the docstring of each module is the rule's
+rationale in terms of the paper's model.  Add a rule by dropping a new
+module here, decorating the class with
+:func:`repro.lint.registry.register`, and importing it below.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401
+    closures,
+    dead_code,
+    delay_literal,
+    nondeterminism,
+    primitives,
+    single_writer,
+    yield_discipline,
+)
+
+__all__ = [
+    "closures",
+    "dead_code",
+    "delay_literal",
+    "nondeterminism",
+    "primitives",
+    "single_writer",
+    "yield_discipline",
+]

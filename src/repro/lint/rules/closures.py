@@ -1,0 +1,218 @@
+"""TMF003 — programs must not smuggle shared state past the registers.
+
+Every inter-process interaction in the model must go through yielded
+register ops, where the executor can time it, trace it, and subject it
+to timing failures.  A program that mutates state reachable by *other*
+processes — an attribute on the shared algorithm object, a module
+global, a mutable default argument (one object shared by every call), or
+a captured mutable — creates a covert channel with zero latency and no
+linearization point, quietly strengthening the model the theorems were
+proved in.
+
+Flagged inside program bodies:
+
+* mutable default arguments (``def entry(self, pid, seen=[])``);
+* ``global`` / ``nonlocal`` declarations;
+* assignment or augmented assignment to ``self.<attr>``;
+* mutating method calls (``append``, ``update``, ``add``, …) and
+  subscript assignment on names that are not local bindings of the
+  program.
+
+Purely local mutation is the paper's "local computation" and is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..programs import ProgramInfo, root_name
+from ..registry import Rule, register
+
+__all__ = ["SharedMutableClosureRule"]
+
+#: Method names that mutate their receiver in place.
+_MUTATORS: Set[str] = {
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "insert",
+    "remove",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "add",
+    "discard",
+    "update",
+    "setdefault",
+    "sort",
+    "reverse",
+}
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+_MUTABLE_CONSTRUCTORS: Set[str] = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+}
+
+
+def _local_bindings(program: ProgramInfo) -> Set[str]:
+    """Names bound inside the program's own scope (params included)."""
+    args = program.node.args
+    names: Set[str] = {a.arg for a in args.args + args.kwonlyargs}
+    names.update(a.arg for a in getattr(args, "posonlyargs", []))
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for stmt in program.own_statements():
+        targets: list = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            targets = [i.optional_vars for i in stmt.items if i.optional_vars]
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_self_attribute(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register
+class SharedMutableClosureRule(Rule):
+    code = "TMF003"
+    name = "shared-mutable-closure"
+    severity = Severity.ERROR
+    description = (
+        "Program bodies must not mutate state shared across processes "
+        "(self attributes, globals, mutable defaults, captured mutables); "
+        "all sharing goes through yielded register ops."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for program in ctx.programs:
+            if not program.is_program:
+                continue
+            yield from self._check_defaults(ctx, program)
+            local = _local_bindings(program)
+            for stmt in program.own_statements():
+                yield from self._check_statement(ctx, program, stmt, local)
+
+    def _check_defaults(
+        self, ctx: ModuleContext, program: ProgramInfo
+    ) -> Iterable[Finding]:
+        args = program.node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                yield self.finding(
+                    ctx,
+                    default.lineno,
+                    default.col_offset,
+                    f"program {program.qualname!r} has a mutable default "
+                    "argument: one object is shared by every process "
+                    "running this program",
+                )
+
+    def _check_statement(
+        self,
+        ctx: ModuleContext,
+        program: ProgramInfo,
+        stmt: ast.stmt,
+        local: Set[str],
+    ) -> Iterable[Finding]:
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            kind = "global" if isinstance(stmt, ast.Global) else "nonlocal"
+            yield self.finding(
+                ctx,
+                stmt.lineno,
+                stmt.col_offset,
+                f"program {program.qualname!r} declares `{kind} "
+                f"{', '.join(stmt.names)}`: module/closure state bypasses "
+                "the shared-memory abstraction",
+            )
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if _is_self_attribute(target):
+                    yield self.finding(
+                        ctx,
+                        target.lineno,
+                        target.col_offset,
+                        f"program {program.qualname!r} assigns "
+                        f"`self.{target.attr}`: instance attributes are "
+                        "shared by every process using this algorithm "
+                        "object — use a register",
+                    )
+                elif isinstance(target, ast.Subscript):
+                    root = root_name(target.value)
+                    if _is_self_attribute(target.value) or (
+                        root is not None and root not in local and root != "self"
+                    ):
+                        yield self.finding(
+                            ctx,
+                            target.lineno,
+                            target.col_offset,
+                            f"program {program.qualname!r} writes into "
+                            f"captured container `{ast.unparse(target.value)}`"
+                            ": mutation of non-local state bypasses the "
+                            "memory abstraction",
+                        )
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                receiver = func.value
+                root = root_name(receiver)
+                if _is_self_attribute(receiver) or (
+                    root is not None and root not in local and root != "self"
+                ):
+                    yield self.finding(
+                        ctx,
+                        call.lineno,
+                        call.col_offset,
+                        f"program {program.qualname!r} calls mutating method "
+                        f"`.{func.attr}()` on captured object "
+                        f"`{ast.unparse(receiver)}`: shared mutation must go "
+                        "through register ops",
+                    )

@@ -1,0 +1,76 @@
+"""TMF007 — unreachable statements after return/raise in generators.
+
+In an ordinary function dead code is untidy; in an algorithm program it
+is usually a *transcription error* from the paper's pseudocode — an exit
+label or register reset placed after the ``return`` that ends the entry
+protocol never executes, and the specification checkers only notice on
+the schedules that needed it.  The rule reports the first statement in
+any block that follows a ``return``, ``raise``, ``break`` or
+``continue`` in the same block, for every generator function (programs
+or not — the helper generators feed the same traces).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+__all__ = ["DeadCodeRule"]
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+def _blocks(node: ast.AST) -> Iterable[List[ast.stmt]]:
+    """Every statement list lexically inside ``node``, this scope only."""
+    stack: List[ast.AST] = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if not first and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue  # nested scope
+        first = False
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(current, name, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+                stack.extend(block)
+        for handler in getattr(current, "handlers", []):
+            yield handler.body
+            stack.extend(handler.body)
+        for case in getattr(current, "cases", []):  # Python >= 3.10 match
+            yield case.body
+            stack.extend(case.body)
+
+
+@register
+class DeadCodeRule(Rule):
+    code = "TMF007"
+    name = "dead-code-after-return"
+    severity = Severity.WARNING
+    description = (
+        "Statements after return/raise/break/continue in a generator never "
+        "run — usually a pseudocode transcription slip (e.g. an exit-label "
+        "or register reset that silently disappears from the trace)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for program in ctx.programs:
+            for block in _blocks(program.node):
+                for prev, stmt in zip(block, block[1:]):
+                    if isinstance(prev, _TERMINATORS):
+                        kind = type(prev).__name__.lower()
+                        yield self.finding(
+                            ctx,
+                            stmt.lineno,
+                            stmt.col_offset,
+                            f"unreachable statement in generator "
+                            f"{program.qualname!r}: follows `{kind}` at line "
+                            f"{prev.lineno}",
+                        )
+                        break  # one report per block is enough

@@ -1,0 +1,65 @@
+"""TMF002 — no read-modify-write primitives in registers-only modules.
+
+The paper's headline results (Theorems 2.1–3.3) are proved from *atomic
+read/write registers alone*; stronger primitives are explicitly deferred
+to the Discussion section and live in :mod:`repro.algorithms.rmw`.  A
+``compare_and_swap`` smuggled into Algorithm 1 would still pass every
+behavioural test while silently changing what the reproduction claims.
+
+Modules opt in by declaring ``# repro-lint: registers-only`` (the
+declaration is itself part of the reproduction's statement of
+assumptions); this rule then flags any reference to
+:data:`~repro.lint.programs.RMW_NAMES` — as a call, an import or a bare
+name — anywhere in the module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..programs import RMW_NAMES, terminal_name
+from ..registry import Rule, register
+
+__all__ = ["PrimitiveDisciplineRule"]
+
+
+@register
+class PrimitiveDisciplineRule(Rule):
+    code = "TMF002"
+    name = "primitive-discipline"
+    severity = Severity.ERROR
+    description = (
+        "Modules declared `# repro-lint: registers-only` must not reference "
+        "read-modify-write primitives (ReadModifyWrite, compare_and_swap, "
+        "fetch_and_add, get_and_set) — the paper's results assume atomic "
+        "registers alone."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.registers_only:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name.split(".")[-1] in RMW_NAMES:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"registers-only module imports RMW primitive "
+                            f"{alias.name!r}",
+                        )
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                name = terminal_name(node)
+                if name in RMW_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"registers-only module references RMW primitive "
+                        f"{name!r}; the paper's model here is atomic "
+                        "read/write registers only",
+                    )

@@ -1,0 +1,157 @@
+"""TMF006 — single-writer registers are written only by their owner.
+
+Several algorithms' proofs lean on registers being *single-writer*: in
+Lamport's fast lock, ``b[i]`` is written by process ``i`` alone, which is
+what makes its reads by others meaningful.  The codebase annotates such
+registers at their creation site::
+
+    self.b = ns.array("b", False)  # repro-lint: single-writer
+
+For an annotated **array**, every ``.write(...)`` on a cell must index
+the cell with the writing program's own process id — the parameter named
+``pid`` or the conventional ``self.pid`` — so ``self.b[j].write(...)``
+(writing someone else's cell) is flagged.  For an annotated **scalar**
+register, writes may appear in at most one program body in the module;
+a second writing program is reported at its write site.  Reads are
+always free.
+
+The analysis is per-module: register names are namespaced per algorithm
+instance (:class:`~repro.sim.registers.RegisterNamespace`), so cross-
+module aliasing cannot occur without also being visible here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..programs import ProgramInfo, terminal_name
+from ..registry import Rule, register
+
+__all__ = ["SingleWriterRule"]
+
+_CREATOR_NAMES = {"register", "array", "Register", "Array"}
+
+
+def _annotated_registers(ctx: ModuleContext) -> Dict[str, str]:
+    """Map attribute/variable name -> 'array' | 'register'.
+
+    A register is annotated when its creation assignment starts on a line
+    carrying the ``single-writer`` directive.  Creation sites look like
+    ``self.b = ns.array(...)`` or ``turn = ns.register(...)``.
+    """
+    lines = ctx.single_writer_lines
+    if not lines:
+        return {}
+    out: Dict[str, str] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign) or node.lineno not in lines:
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        creator = terminal_name(node.value.func)
+        if creator not in _CREATOR_NAMES:
+            continue
+        kind = "array" if creator.lower() == "array" else "register"
+        for target in node.targets:
+            name = terminal_name(target)
+            if name is not None:
+                out[name] = kind
+    return out
+
+
+def _own_pid_expr(node: ast.expr, pid_param: Optional[str]) -> bool:
+    """True when ``node`` is the writing process's own id (``pid``/``self.pid``)."""
+    if isinstance(node, ast.Name):
+        return pid_param is not None and node.id == pid_param
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id == "self" and node.attr == "pid"
+    return False
+
+
+def _write_calls(
+    program: ProgramInfo,
+) -> Iterable[ast.Call]:
+    for node in program.own_nodes():
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "write"
+        ):
+            yield node
+
+
+@register
+class SingleWriterRule(Rule):
+    code = "TMF006"
+    name = "single-writer-discipline"
+    severity = Severity.ERROR
+    description = (
+        "Registers annotated `# repro-lint: single-writer` may only be "
+        "written by their owning process: array cells indexed by the "
+        "writer's own pid, scalars written from a single program body."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        annotated = _annotated_registers(ctx)
+        if not annotated:
+            return
+        scalar_writers: Dict[str, Set[str]] = {}
+        ordered: List[Tuple[ProgramInfo, ast.Call, str, str]] = []
+        for program in ctx.programs:
+            if not program.is_program:
+                continue
+            for call in _write_calls(program):
+                target = call.func.value  # the handle expression
+                reg_name, kind = self._match(target, annotated)
+                if reg_name is None:
+                    continue
+                if kind == "array":
+                    index = target.slice if isinstance(target, ast.Subscript) else None
+                    if index is None or not _own_pid_expr(
+                        index, program.pid_param
+                    ):
+                        yield self.finding(
+                            ctx,
+                            call.lineno,
+                            call.col_offset,
+                            f"single-writer array {reg_name!r} written at "
+                            f"index `{ast.unparse(index) if index else '?'}` "
+                            f"in {program.qualname!r}; only the owning "
+                            "process may write its own cell (index by pid)",
+                        )
+                else:
+                    scalar_writers.setdefault(reg_name, set()).add(
+                        program.qualname
+                    )
+                    ordered.append((program, call, reg_name, kind))
+        for program, call, reg_name, _ in ordered:
+            writers = scalar_writers.get(reg_name, set())
+            if len(writers) > 1:
+                others = sorted(writers - {program.qualname})
+                yield self.finding(
+                    ctx,
+                    call.lineno,
+                    call.col_offset,
+                    f"single-writer register {reg_name!r} written from "
+                    f"multiple program bodies ({program.qualname!r} and "
+                    f"{', '.join(repr(o) for o in others)})",
+                )
+
+    @staticmethod
+    def _match(
+        target: ast.expr, annotated: Dict[str, str]
+    ) -> Tuple[Optional[str], str]:
+        """Resolve the written handle to an annotated register, if any.
+
+        ``self.b[pid].write`` -> handle ``self.b[pid]``, matched by the
+        subscripted value's terminal name ``b``; ``self.turn.write`` ->
+        matched by ``turn`` directly.
+        """
+        base = target.value if isinstance(target, ast.Subscript) else target
+        name = terminal_name(base)
+        if name is not None and name in annotated:
+            return name, annotated[name]
+        return None, ""

@@ -1,0 +1,76 @@
+"""TMF001 — every yield in a program must yield an op.
+
+The engine's contract (:mod:`repro.sim.engine`) is that a program
+communicates with its executor *only* by yielding
+:class:`~repro.sim.ops.Op` objects; a bare ``yield`` or a yield of any
+other value is interpreted as "non-operation" and raises at runtime —
+but only on the paths a test happens to drive.  This rule finds such
+yields statically, in every branch.
+
+Accepted yield values are the op-construction idioms catalogued in
+:mod:`repro.lint.programs` (register-handle ``.read()``/``.write()``
+calls, the ``ops`` helpers, raw ``Op`` constructors, locals bound to
+one of those, and conditionals between two accepted forms).
+``yield from`` delegates to a sub-program and is accepted whenever its
+operand is a call, name or attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import ModuleContext
+from ..findings import Finding, Severity
+from ..programs import is_op_expression
+from ..registry import Rule, register
+
+__all__ = ["YieldDisciplineRule"]
+
+
+@register
+class YieldDisciplineRule(Rule):
+    code = "TMF001"
+    name = "yield-discipline"
+    severity = Severity.ERROR
+    description = (
+        "Programs may only yield Op constructions (register .read()/.write(), "
+        "ops.* helpers, Op classes); bare yields and non-op values break the "
+        "executor contract."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for program in ctx.programs:
+            if not program.is_program:
+                continue
+            for node in program.yields:
+                if node.value is None:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"bare `yield` in program {program.qualname!r}: every "
+                        "yield must produce an Op for the executor",
+                    )
+                elif not is_op_expression(node.value, program.op_locals):
+                    yield self.finding(
+                        ctx,
+                        node.value.lineno,
+                        node.value.col_offset,
+                        f"program {program.qualname!r} yields a non-op "
+                        f"expression `{ast.unparse(node.value)}`; yield an Op "
+                        "construction (reg.read()/reg.write(...), ops.delay, "
+                        "ops.label, ...)",
+                    )
+            for node in program.yield_froms:
+                if not isinstance(
+                    node.value, (ast.Call, ast.Name, ast.Attribute, ast.Await)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.value.lineno,
+                        node.value.col_offset,
+                        f"program {program.qualname!r} delegates via `yield "
+                        f"from {ast.unparse(node.value)}`; delegate to a "
+                        "sub-program call or name",
+                    )

@@ -123,6 +123,9 @@ class Endpoint:
             messages, cursor = yield from mailbox.receive_from(
                 self._cursors[sender]
             )
-            self._cursors[sender] = cursor
+            # Receive cursors are this endpoint's own state: an Endpoint
+            # is constructed per process (Network.endpoint) and never
+            # shared, so the mutation is process-local by construction.
+            self._cursors[sender] = cursor  # repro-lint: disable=TMF003
             inbox.extend((sender, m) for m in messages)
         return inbox

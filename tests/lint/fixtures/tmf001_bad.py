@@ -1,0 +1,17 @@
+"""Seeded TMF001 violations: a program yielding non-op values.
+
+Never imported — the linter reads source only.
+"""
+
+
+class BrokenLock:
+    def entry(self, pid):
+        value = yield self.x.read()  # ok: recognized op idiom
+        if value is None:
+            yield  # line 11: bare yield
+        yield 42  # line 12: non-op constant
+        yield [self.x.read()]  # line 13: op wrapped in a list is not an op
+
+    def exit(self, pid) -> "Program":
+        # Classified via the annotation even though no yield is an op.
+        yield pid  # line 17: non-op name

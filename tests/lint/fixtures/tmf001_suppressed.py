@@ -1,0 +1,13 @@
+"""TMF001 violations with working suppression comments."""
+
+
+class BrokenLock:
+    def entry(self, pid):
+        value = yield self.x.read()
+        if value is None:
+            yield  # repro-lint: disable=TMF001
+        yield 42  # repro-lint: disable=TMF001
+        yield [self.x.read()]  # repro-lint: disable=all
+
+    def exit(self, pid) -> "Program":
+        yield pid  # repro-lint: disable=TMF001

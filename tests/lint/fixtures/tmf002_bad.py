@@ -1,0 +1,14 @@
+# repro-lint: registers-only  (fixture: claims the paper's model)
+"""Seeded TMF002 violations: RMW primitives in a registers-only module."""
+
+from repro.sim.ops import fetch_and_add  # line 4: banned import
+
+
+class SneakyLock:
+    def entry(self, pid):
+        ticket = yield fetch_and_add(self.next_ticket, 1)  # line 9
+        yield self.slots[ticket].write(pid)
+
+    def propose(self, pid, value):
+        ok = yield ops.compare_and_swap(self.cell, None, value)  # line 13
+        return ok

@@ -1,0 +1,14 @@
+# repro-lint: registers-only  (fixture)
+"""TMF002 violations silenced line by line."""
+
+from repro.sim.ops import fetch_and_add  # repro-lint: disable=TMF002
+
+
+class SneakyLock:
+    def entry(self, pid):
+        ticket = yield fetch_and_add(self.next_ticket, 1)  # repro-lint: disable=TMF002
+        yield self.slots[ticket].write(pid)
+
+    def propose(self, pid, value):
+        ok = yield ops.compare_and_swap(self.cell, None, value)  # repro-lint: disable=TMF002
+        return ok

@@ -1,0 +1,18 @@
+"""Seeded TMF003 violations: shared mutable state bypassing the registers."""
+
+HISTORY = []
+
+_last_winner = None
+
+
+class LeakyLock:
+    def entry(self, pid, seen=[]):  # line 9: mutable default
+        value = yield self.x.read()
+        self.round = pid  # line 11: instance attribute assignment
+        HISTORY.append(pid)  # line 12: mutating a module global
+        self.table[pid] = value  # line 13: subscript write into self state
+
+    def exit(self, pid):
+        global _last_winner  # line 16: global declaration
+        _last_winner = pid
+        yield self.x.write(None)

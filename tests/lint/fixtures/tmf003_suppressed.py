@@ -1,0 +1,18 @@
+"""TMF003 violations silenced (e.g. documented per-process handles)."""
+
+HISTORY = []
+
+_last_winner = None
+
+
+class LeakyLock:
+    def entry(self, pid, seen=[]):  # repro-lint: disable=TMF003
+        value = yield self.x.read()
+        self.round = pid  # repro-lint: disable=TMF003
+        HISTORY.append(pid)  # repro-lint: disable=TMF003
+        self.table[pid] = value  # repro-lint: disable=TMF003
+
+    def exit(self, pid):
+        global _last_winner  # repro-lint: disable=TMF003
+        _last_winner = pid
+        yield self.x.write(None)

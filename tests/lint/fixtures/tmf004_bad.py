@@ -1,0 +1,14 @@
+"""Seeded TMF004 violations: wall-clock and entropy inside a program."""
+
+import random
+import time
+from os import urandom
+
+
+class FlakyConsensus:
+    def propose(self, pid, value):
+        yield self.x[pid].write(value)
+        if random.random() < 0.5:  # line 11: entropy
+            yield self.x[pid].write(time.time())  # line 12: wall clock
+        salt = urandom(4)  # line 13: os entropy via from-import
+        return salt

@@ -1,0 +1,16 @@
+"""TMF004 violations silenced for the whole file."""
+
+# repro-lint: disable-file=TMF004
+
+import random
+import time
+from os import urandom
+
+
+class FlakyConsensus:
+    def propose(self, pid, value):
+        yield self.x[pid].write(value)
+        if random.random() < 0.5:
+            yield self.x[pid].write(time.time())
+        salt = urandom(4)
+        return salt

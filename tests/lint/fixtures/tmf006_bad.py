@@ -1,0 +1,16 @@
+"""Seeded TMF006 violations: single-writer registers written by others."""
+
+
+class CrossWriterLock:
+    def __init__(self, ns):
+        self.flags = ns.array("flags", False)  # repro-lint: single-writer
+        self.owner = ns.register("owner", 0)  # repro-lint: single-writer
+
+    def entry(self, pid):
+        yield self.flags[pid].write(True)  # ok: own cell
+        yield self.flags[0].write(False)  # line 11: someone else's cell
+        yield self.owner.write(pid)  # line 12: writer body #1
+
+    def exit(self, pid):
+        yield self.owner.write(0)  # line 15: writer body #2
+        yield self.flags[pid].write(False)  # ok: own cell

@@ -1,0 +1,16 @@
+"""Seeded TMF007 violations: dead code after return in generators."""
+
+
+class ForgetfulLock:
+    def entry(self, pid):
+        while True:
+            value = yield self.x.read()
+            if value is None:
+                return
+            continue
+            yield self.x.write(pid)  # line 11: after continue
+
+    def exit(self, pid):
+        yield self.x.write(None)
+        return
+        yield self.done[pid].write(True)  # line 16: the paper's exit label, lost

@@ -1,0 +1,16 @@
+"""TMF007 violations silenced line by line."""
+
+
+class ForgetfulLock:
+    def entry(self, pid):
+        while True:
+            value = yield self.x.read()
+            if value is None:
+                return
+            continue
+            yield self.x.write(pid)  # repro-lint: disable=TMF007
+
+    def exit(self, pid):
+        yield self.x.write(None)
+        return
+        yield self.done[pid].write(True)  # repro-lint: disable=TMF007

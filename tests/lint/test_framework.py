@@ -1,0 +1,135 @@
+"""Framework-level tests: registry, findings, directives, suppression forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Finding, Severity, all_rules, lint_source
+from repro.lint.context import scan_directives
+from repro.lint.registry import resolve_codes, rules_by_code
+
+
+def test_registry_has_the_seven_rules():
+    codes = [rule.code for rule in all_rules()]
+    assert codes == [
+        "TMF001",
+        "TMF002",
+        "TMF003",
+        "TMF004",
+        "TMF005",
+        "TMF006",
+        "TMF007",
+    ]
+
+
+def test_every_rule_documents_itself():
+    for rule in all_rules():
+        assert rule.name, rule.code
+        assert rule.description, rule.code
+        assert rule.severity in (Severity.WARNING, Severity.ERROR)
+
+
+def test_finding_render_and_dict():
+    finding = Finding(
+        code="TMF001",
+        message="bad yield",
+        path="x.py",
+        line=3,
+        column=4,
+        severity=Severity.ERROR,
+        rule="yield-discipline",
+    )
+    assert finding.render() == "x.py:3:5: TMF001 [error] bad yield"
+    as_dict = finding.to_dict()
+    assert as_dict["code"] == "TMF001"
+    assert as_dict["line"] == 3
+    assert as_dict["severity"] == "error"
+
+
+def test_syntax_error_becomes_tmf000():
+    findings = lint_source("def broken(:\n", path="broken.py")
+    assert len(findings) == 1
+    assert findings[0].code == "TMF000"
+    assert findings[0].path == "broken.py"
+    assert "parse" in findings[0].message
+
+
+_BAD_YIELD = """\
+def entry(pid) -> "Program":
+    yield 42
+"""
+
+
+def test_select_narrows_the_rule_set():
+    assert lint_source(_BAD_YIELD, select=["TMF005"]) == []
+    assert [f.code for f in lint_source(_BAD_YIELD, select=["TMF001"])] == ["TMF001"]
+
+
+def test_ignore_drops_codes():
+    assert lint_source(_BAD_YIELD, ignore=["TMF001"]) == []
+
+
+def test_resolve_codes_validates():
+    assert resolve_codes("TMF001, TMF004") == ["TMF001", "TMF004"]
+    with pytest.raises(ValueError, match="unknown rule code"):
+        resolve_codes("TMF999")
+
+
+def test_rules_by_code_is_a_copy():
+    mapping = rules_by_code()
+    mapping.clear()
+    assert rules_by_code()  # registry unaffected
+
+
+def test_line_suppression_single_code():
+    source = _BAD_YIELD.replace("yield 42", "yield 42  # repro-lint: disable=TMF001")
+    assert lint_source(source) == []
+
+
+def test_line_suppression_all():
+    source = _BAD_YIELD.replace("yield 42", "yield 42  # repro-lint: disable=all")
+    assert lint_source(source) == []
+
+
+def test_line_suppression_wrong_code_keeps_finding():
+    source = _BAD_YIELD.replace("yield 42", "yield 42  # repro-lint: disable=TMF005")
+    assert [f.code for f in lint_source(source)] == ["TMF001"]
+
+
+def test_file_suppression():
+    source = "# repro-lint: disable-file=TMF001\n" + _BAD_YIELD
+    assert lint_source(source) == []
+
+
+def test_directive_in_string_literal_is_ignored():
+    source = 's = "# repro-lint: disable=TMF001"\n' + _BAD_YIELD
+    assert [f.code for f in lint_source(source)] == ["TMF001"]
+
+
+def test_directive_prose_after_double_space():
+    directives = scan_directives(
+        "# repro-lint: registers-only  the paper's section 3 model\n"
+    )
+    assert [d.name for d in directives] == ["registers-only"]
+
+
+def test_directive_prose_after_dash():
+    directives = scan_directives("x = 1  # repro-lint: disable=TMF005 - seeded\n")
+    assert len(directives) == 1
+    assert directives[0].name == "disable"
+    assert directives[0].codes == ("TMF005",)
+
+
+def test_directive_multiple_codes():
+    directives = scan_directives("y = 2  # repro-lint: disable=TMF001,TMF004\n")
+    assert directives[0].codes == ("TMF001", "TMF004")
+
+
+def test_findings_sorted_by_position():
+    source = (
+        'def entry(pid) -> "Program":\n'
+        "    yield 42\n"
+        "    yield\n"
+    )
+    findings = lint_source(source)
+    assert [f.line for f in findings] == sorted(f.line for f in findings)

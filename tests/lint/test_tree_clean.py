@@ -1,0 +1,42 @@
+"""Tier-1 gate: the shipped tree must lint clean.
+
+This is the dogfooding contract — every algorithm, core construction and
+example in the repo conforms to the paper's model as far as the analyzer
+can see.  New code that violates a rule fails this test; justified
+exceptions must carry an inline ``# repro-lint: disable=...`` with their
+reasoning, which keeps every deviation greppable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint import lint_paths
+
+pytestmark = pytest.mark.lint
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _tree(*parts: str) -> str:
+    return os.path.join(ROOT, *parts)
+
+
+@pytest.mark.parametrize(
+    "relpath",
+    [
+        os.path.join("src", "repro", "algorithms"),
+        os.path.join("src", "repro", "core"),
+        "examples",
+    ],
+)
+def test_tree_is_lint_clean(relpath):
+    findings = lint_paths([_tree(relpath)])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_whole_src_tree_is_lint_clean():
+    findings = lint_paths([_tree("src")])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)

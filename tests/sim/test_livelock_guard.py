@@ -1,0 +1,62 @@
+"""The engine's zero-duration livelock guard.
+
+``Label`` ops consume no simulated time, so a program spinning on labels
+alone would keep the event loop at the same instant forever.  The engine
+bounds any run of consecutive zero-duration operations at
+``_MAX_ZERO_DURATION_RUN`` and reports a livelock instead of hanging.
+"""
+
+import pytest
+
+from repro.sim import (
+    ConstantTiming,
+    Engine,
+    Register,
+    RunStatus,
+    SimulationError,
+    label,
+    read,
+    write,
+)
+from repro.sim.engine import _MAX_ZERO_DURATION_RUN
+
+X = Register("x", 0)
+
+
+def test_zero_duration_label_spin_is_reported_not_hung():
+    def spinner(pid):
+        yield write(X, pid)
+        while True:  # never yields a time-consuming op again
+            yield label("spin", pid)
+
+    eng = Engine(delta=1.0, timing=ConstantTiming(1.0))
+    eng.spawn(spinner(0))
+    with pytest.raises(SimulationError, match="livelock"):
+        eng.run()
+
+
+def test_livelock_message_names_the_process():
+    def spinner(pid):
+        yield write(X, pid)
+        while True:
+            yield label("spin", pid)
+
+    eng = Engine(delta=1.0, timing=ConstantTiming(1.0))
+    eng.spawn(spinner(3), pid=3, name="spinny")
+    with pytest.raises(SimulationError, match=r"process 3 \(spinny\)"):
+        eng.run()
+
+
+def test_long_finite_label_run_below_threshold_completes():
+    def chatty(pid):
+        yield write(X, pid)
+        for i in range(_MAX_ZERO_DURATION_RUN - 1):
+            yield label("tick", i)
+        v = yield read(X)
+        return v
+
+    eng = Engine(delta=1.0, timing=ConstantTiming(1.0))
+    eng.spawn(chatty(0))
+    res = eng.run()
+    assert res.status is RunStatus.COMPLETED
+    assert res.returns == {0: 0}

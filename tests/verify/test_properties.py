@@ -1,0 +1,68 @@
+"""Unit tests for :class:`repro.verify.properties.InvariantProperty`."""
+
+from repro.sim import ops
+from repro.sim.registers import Register
+from repro.verify.properties import InvariantProperty
+from repro.verify.sandbox import Sandbox
+
+X = Register("x", 0)
+
+
+def incrementer(pid):
+    v = yield ops.read(X)
+    yield ops.write(X, v + 1)
+    return v
+
+
+def make_sandbox():
+    return Sandbox({0: incrementer, 1: incrementer}, max_ops=10)
+
+
+def test_holds_returns_none():
+    prop = InvariantProperty(lambda sb: sb.memory.peek(X) >= 0)
+    sb = make_sandbox()
+    assert prop.check(sb) is None
+    sb.step(0)
+    sb.step(0)
+    assert prop.check(sb) is None
+
+
+def test_violation_returns_message():
+    prop = InvariantProperty(
+        lambda sb: sb.memory.peek(X) == 0,
+        name="x-stays-zero",
+        message="x left zero",
+    )
+    sb = make_sandbox()
+    assert prop.check(sb) is None
+    sb.step(0)  # read
+    sb.step(0)  # write: x becomes 1
+    assert prop.check(sb) == "x left zero"
+
+
+def test_defaults():
+    prop = InvariantProperty(lambda sb: False)
+    assert prop.name == "invariant"
+    assert prop.check(make_sandbox()) == "invariant violated"
+
+
+def test_custom_name_is_kept():
+    prop = InvariantProperty(lambda sb: True, name="bounded")
+    assert prop.name == "bounded"
+
+
+def test_predicate_sees_live_state():
+    """The predicate observes the same sandbox the explorer mutates."""
+    seen = []
+
+    def spy(sb):
+        seen.append(sb.memory.peek(X))
+        return True
+
+    prop = InvariantProperty(spy)
+    sb = make_sandbox()
+    prop.check(sb)
+    sb.step(0)
+    sb.step(0)
+    prop.check(sb)
+    assert seen == [0, 1]
