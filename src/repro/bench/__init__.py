@@ -1,0 +1,53 @@
+"""Deterministic perf tracking for the simulator and experiment drivers.
+
+The harness runs named scenarios (see :mod:`repro.bench.scenarios`) and
+records, per scenario, wall-clock time *plus* simulator-native work
+counters captured by :class:`repro.sim.instrument.EngineProbe` — events
+processed, heap pushes, ops linearized, register reads/writes, registers
+touched.  The counters are bit-for-bit reproducible, so the committed
+``BENCH_core.json`` baseline gates regressions even on noisy CI runners:
+counter drift fails hard, wall-clock movement warns.
+
+Usage::
+
+    python -m repro.bench run --quick --json BENCH_core.json
+    python -m repro.bench compare BENCH_core.json new.json --max-regression 20%
+
+See docs/TESTING.md ("Performance tracking") for counter semantics and
+the baseline-refresh procedure.
+"""
+
+from .compare import (
+    ComparisonReport,
+    CounterDrift,
+    ScenarioComparison,
+    compare_documents,
+    parse_ratio,
+)
+from .runner import (
+    SCHEMA_VERSION,
+    ScenarioResult,
+    make_document,
+    render_document,
+    run_scenario,
+    run_suite,
+)
+from .scenarios import SCENARIOS, Scenario, get_scenario, scenario_names
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "ComparisonReport",
+    "ScenarioComparison",
+    "CounterDrift",
+    "compare_documents",
+    "parse_ratio",
+    "make_document",
+    "render_document",
+    "run_scenario",
+    "run_suite",
+    "get_scenario",
+    "scenario_names",
+]

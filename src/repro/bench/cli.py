@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro.bench``.
+
+::
+
+    python -m repro.bench run --quick --json BENCH_core.json
+    python -m repro.bench run --full --only engine/pingpong
+    python -m repro.bench list
+    python -m repro.bench compare BENCH_core.json new.json --max-regression 20%
+
+``run`` executes scenarios and prints one line per scenario (plus the
+JSON document when ``--json`` is given).  ``compare`` gates two documents:
+exit 0 clean, 1 on counter drift / missing scenarios (and, under
+``--fail-on-wall``, wall-clock regressions beyond ``--max-regression``),
+2 on usage errors — the same convention as :mod:`repro.lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .compare import EXIT_FAIL, EXIT_OK, EXIT_USAGE, compare_documents, parse_ratio
+from .runner import make_document, render_document, run_scenario
+from .scenarios import SCENARIOS, get_scenario, scenario_names
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Deterministic benchmark harness with counter-gated baselines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run scenarios and emit a bench document")
+    mode = run.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true",
+                      help="CI scenario set (the default)")
+    mode.add_argument("--full", action="store_true",
+                      help="every scenario, including heavy experiment drivers")
+    run.add_argument("--only", action="append", metavar="NAME",
+                     help="run only this scenario (repeatable)")
+    run.add_argument("--repeat", type=int, default=3, metavar="N",
+                     help="repetitions per scenario; wall time is the best, "
+                          "counters must agree (default: 3)")
+    run.add_argument("--json", metavar="PATH", dest="json_path",
+                     help="write the machine-readable document here")
+
+    sub.add_parser("list", help="list registered scenarios")
+
+    cmp_parser = sub.add_parser("compare", help="gate a new document on an old one")
+    cmp_parser.add_argument("old", help="baseline document (e.g. BENCH_core.json)")
+    cmp_parser.add_argument("new", help="fresh document to check")
+    cmp_parser.add_argument("--max-regression", default="20%", metavar="PCT",
+                            help="wall-clock slowdown threshold (default: 20%%)")
+    cmp_parser.add_argument("--fail-on-wall", action="store_true",
+                            help="exit 1 on wall regressions too (default: warn)")
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for name in sorted(SCENARIOS):
+        s = SCENARIOS[name]
+        tag = "quick" if s.quick else "full "
+        print(f"[{tag}] {name:<34} {s.description}", file=out)
+    return EXIT_OK
+
+
+def _cmd_run(args, out, err) -> int:
+    mode = "full" if args.full else "quick"
+    try:
+        names: List[str] = list(args.only) if args.only else scenario_names(mode)
+        scenarios = [get_scenario(name) for name in names]
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=err)
+        return EXIT_USAGE
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}", file=err)
+        return EXIT_USAGE
+    results = []
+    for scenario in scenarios:
+        result = run_scenario(scenario, repeats=args.repeat)
+        results.append(result)
+        print(
+            f"{result.name:<34} {result.wall_time_s:8.3f}s  "
+            f"events={result.counters['events']} "
+            f"shared_steps={result.counters['shared_steps']}",
+            file=out,
+        )
+    doc = make_document(results, mode)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            fh.write(render_document(doc))
+        print(f"wrote {args.json_path}", file=out)
+    return EXIT_OK
+
+
+def _cmd_compare(args, out, err) -> int:
+    try:
+        threshold = parse_ratio(args.max_regression)
+    except ValueError as exc:
+        print(f"error: {exc}", file=err)
+        return EXIT_USAGE
+    docs = []
+    for path in (args.old, args.new):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=err)
+            return EXIT_USAGE
+    try:
+        report = compare_documents(docs[0], docs[1], max_regression=threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=err)
+        return EXIT_USAGE
+    print(report.render(), file=out)
+    code = report.exit_code(fail_on_wall=args.fail_on_wall)
+    if code != EXIT_OK:
+        failed = [s.name for s in report.counter_failures]
+        if args.fail_on_wall:
+            failed += [s.name for s in report.wall_regressions]
+        print(f"FAIL: {', '.join(failed)}", file=err)
+    elif report.wall_regressions:
+        names = ", ".join(s.name for s in report.wall_regressions)
+        print(f"warning: wall-clock regression (not gated): {names}", file=err)
+    return code
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out=sys.stdout, err=sys.stderr) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors already
+        return exc.code if isinstance(exc.code, int) else EXIT_USAGE
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out, err)
+    if args.command == "compare":
+        return _cmd_compare(args, out, err)
+    return EXIT_USAGE  # pragma: no cover - argparse enforces the choices

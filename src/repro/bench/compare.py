@@ -1,0 +1,184 @@
+"""Compare two bench documents and gate on deterministic counter drift.
+
+Verdicts per scenario (most severe first):
+
+``drift``
+    Any counter differs between the two documents, in either direction.
+    The counters are deterministic, so drift means the simulation did
+    different work — either the workload changed (refresh the baseline
+    deliberately) or a semantics bug crept in.  Always a failure.
+``missing``
+    The scenario exists in the old document but not the new one.  Also a
+    failure — a silently dropped scenario is not a passing gate.
+``regression`` / ``improvement``
+    Counters identical but wall clock moved beyond the threshold.  Wall
+    time is noisy on shared runners, so regressions *warn* by default and
+    only fail under ``fail_on_wall=True``.
+``new``
+    Present only in the new document (informational; full runs compared
+    against a quick baseline report their extra scenarios here).
+``ok``
+    Identical counters, wall clock within the threshold.
+
+Exit codes mirror :mod:`repro.lint`: 0 clean, 1 gate failure, 2 usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CounterDrift",
+    "ScenarioComparison",
+    "ComparisonReport",
+    "compare_documents",
+    "parse_ratio",
+]
+
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+
+
+@dataclass(frozen=True)
+class CounterDrift:
+    """One counter whose value changed."""
+
+    counter: str
+    old: Optional[int]
+    new: Optional[int]
+
+
+@dataclass
+class ScenarioComparison:
+    """The verdict for one scenario."""
+
+    name: str
+    verdict: str  # ok | improvement | regression | drift | missing | new
+    drifts: List[CounterDrift] = field(default_factory=list)
+    wall_old: Optional[float] = None
+    wall_new: Optional[float] = None
+
+    @property
+    def wall_ratio(self) -> Optional[float]:
+        if self.wall_old and self.wall_new is not None:
+            return self.wall_new / self.wall_old
+        return None
+
+
+@dataclass
+class ComparisonReport:
+    """All scenario verdicts plus the overall gate decision."""
+
+    scenarios: List[ScenarioComparison]
+    max_regression: float
+
+    def with_verdict(self, verdict: str) -> List[ScenarioComparison]:
+        return [s for s in self.scenarios if s.verdict == verdict]
+
+    @property
+    def counter_failures(self) -> List[ScenarioComparison]:
+        return [s for s in self.scenarios if s.verdict in ("drift", "missing")]
+
+    @property
+    def wall_regressions(self) -> List[ScenarioComparison]:
+        return self.with_verdict("regression")
+
+    def exit_code(self, fail_on_wall: bool = False) -> int:
+        if self.counter_failures:
+            return EXIT_FAIL
+        if fail_on_wall and self.wall_regressions:
+            return EXIT_FAIL
+        return EXIT_OK
+
+    def render(self) -> str:
+        lines = []
+        for s in self.scenarios:
+            if s.verdict in ("ok", "improvement", "regression"):
+                ratio = s.wall_ratio
+                detail = f"wall x{ratio:.2f}" if ratio is not None else "no wall data"
+            elif s.verdict == "drift":
+                shown = ", ".join(
+                    f"{d.counter} {d.old} -> {d.new}" for d in s.drifts[:4]
+                )
+                more = len(s.drifts) - 4
+                detail = shown + (f" (+{more} more)" if more > 0 else "")
+            else:
+                detail = ""
+            lines.append(f"{s.verdict.upper():<12} {s.name:<34} {detail}".rstrip())
+        counts = {}
+        for s in self.scenarios:
+            counts[s.verdict] = counts.get(s.verdict, 0) + 1
+        summary = ", ".join(f"{n} {v}" for v, n in sorted(counts.items()))
+        lines.append(f"-- {summary} (wall threshold +{self.max_regression:.0%})")
+        return "\n".join(lines)
+
+
+def parse_ratio(text: str) -> float:
+    """Parse a regression threshold: ``'20%'`` or ``'0.2'`` -> ``0.2``."""
+    raw = text.strip()
+    try:
+        if raw.endswith("%"):
+            value = float(raw[:-1]) / 100.0
+        else:
+            value = float(raw)
+    except ValueError:
+        raise ValueError(f"cannot parse regression threshold {text!r}") from None
+    if value < 0:
+        raise ValueError(f"regression threshold must be >= 0, got {text!r}")
+    return value
+
+
+def _counter_drifts(old: Dict[str, int], new: Dict[str, int]) -> List[CounterDrift]:
+    drifts = []
+    for key in sorted(set(old) | set(new)):
+        if old.get(key) != new.get(key):
+            drifts.append(CounterDrift(key, old.get(key), new.get(key)))
+    return drifts
+
+
+def _scenarios_of(doc: Dict) -> Dict[str, Dict]:
+    try:
+        scenarios = doc["scenarios"]
+    except (TypeError, KeyError):
+        raise ValueError("not a repro.bench document: no 'scenarios' key") from None
+    if not isinstance(scenarios, dict):
+        raise ValueError("not a repro.bench document: 'scenarios' is not a map")
+    return scenarios
+
+
+def compare_documents(
+    old: Dict, new: Dict, max_regression: float = 0.2
+) -> ComparisonReport:
+    """Compare two bench documents (see module docstring for verdicts)."""
+    old_scenarios = _scenarios_of(old)
+    new_scenarios = _scenarios_of(new)
+    comparisons: List[ScenarioComparison] = []
+    for name in sorted(set(old_scenarios) | set(new_scenarios)):
+        if name not in new_scenarios:
+            comparisons.append(ScenarioComparison(name, "missing"))
+            continue
+        if name not in old_scenarios:
+            comparisons.append(ScenarioComparison(name, "new"))
+            continue
+        old_entry, new_entry = old_scenarios[name], new_scenarios[name]
+        drifts = _counter_drifts(
+            old_entry.get("counters", {}), new_entry.get("counters", {})
+        )
+        wall_old = old_entry.get("wall_time_s")
+        wall_new = new_entry.get("wall_time_s")
+        if drifts:
+            verdict = "drift"
+        else:
+            verdict = "ok"
+            if wall_old and wall_new is not None:
+                ratio = wall_new / wall_old
+                if ratio > 1.0 + max_regression:
+                    verdict = "regression"
+                elif ratio < 1.0 - max_regression:
+                    verdict = "improvement"
+        comparisons.append(
+            ScenarioComparison(name, verdict, drifts, wall_old, wall_new)
+        )
+    return ComparisonReport(comparisons, max_regression)

@@ -1,0 +1,114 @@
+"""Execute scenarios and assemble the machine-readable bench document.
+
+The document layout (schema 1)::
+
+    {
+      "schema": 1,
+      "kind": "repro.bench",
+      "mode": "quick",
+      "scenarios": {
+        "<name>": {"counters": {"events": 123, ...}, "wall_time_s": 0.42},
+        ...
+      }
+    }
+
+Counter blocks are fully deterministic (see
+:mod:`repro.sim.instrument`); ``wall_time_s`` is the one noisy field and
+is segregated so consumers can gate on counters and merely eyeball wall
+clock.  Documents are serialized with sorted keys, so two runs of the
+same tree produce byte-identical counter sections.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..sim.instrument import EngineProbe, probe_scope
+from .scenarios import Scenario, get_scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioResult",
+    "run_scenario",
+    "run_suite",
+    "make_document",
+    "render_document",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Counters plus wall time for one scenario execution."""
+
+    name: str
+    counters: Dict[str, int]
+    wall_time_s: float
+
+
+def _run_once(scenario: Scenario) -> ScenarioResult:
+    probe = EngineProbe()
+    start = time.perf_counter()
+    with probe_scope(probe):
+        extra = scenario.fn()
+    wall = time.perf_counter() - start
+    counters = probe.snapshot()
+    for key, value in (extra or {}).items():
+        if key in counters:
+            raise ValueError(
+                f"scenario {scenario.name!r} returned counter {key!r} "
+                f"which shadows a probe counter"
+            )
+        counters[key] = int(value)
+    return ScenarioResult(scenario.name, counters, wall)
+
+
+def run_scenario(scenario: Scenario, repeats: int = 1) -> ScenarioResult:
+    """Run a scenario ``repeats`` times; report the best wall time.
+
+    Counters must be identical across repetitions — they are deterministic
+    by construction, so a mismatch is a bug in the scenario (hidden global
+    state) or the simulator, and raises rather than silently averaging.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    results = [_run_once(scenario) for _ in range(repeats)]
+    for other in results[1:]:
+        if other.counters != results[0].counters:
+            raise RuntimeError(
+                f"scenario {scenario.name!r} produced different counters on "
+                f"repetition: {results[0].counters} vs {other.counters}"
+            )
+    return ScenarioResult(
+        scenario.name,
+        results[0].counters,
+        min(r.wall_time_s for r in results),
+    )
+
+
+def run_suite(names: Iterable[str], repeats: int = 1) -> List[ScenarioResult]:
+    return [run_scenario(get_scenario(name), repeats=repeats) for name in names]
+
+
+def make_document(results: Iterable[ScenarioResult], mode: str) -> Dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro.bench",
+        "mode": mode,
+        "scenarios": {
+            r.name: {
+                "counters": dict(r.counters),
+                "wall_time_s": round(r.wall_time_s, 6),
+            }
+            for r in results
+        },
+    }
+
+
+def render_document(doc: Dict) -> str:
+    """Canonical serialization (sorted keys, trailing newline)."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,274 @@
+"""The benchmark scenario registry.
+
+A *scenario* is a named, deterministic workload: micro-scenarios drive
+the engine's event loop and the explorer directly, experiment scenarios
+wrap the :mod:`repro.analysis.experiments` drivers (usually at reduced
+parameters so the quick suite stays CI-sized).  The runner executes each
+scenario inside a :func:`~repro.sim.instrument.probe_scope`, so every
+:class:`~repro.sim.Engine` the workload builds reports its work counters
+without the workload knowing it is being measured.
+
+A scenario callable may return an extra ``{counter: int}`` dict for
+deterministic numbers the probe cannot see (the explorer's state counts);
+those are merged into the scenario's counter block under the returned
+names.
+
+Quick scenarios (``quick=True``) are the CI set — they must finish in a
+few seconds each and their counters are regression-gated against the
+committed ``BENCH_core.json``.  The full set is a superset (same
+definitions, plus the heavier experiment drivers), so a full run is
+directly comparable to a quick baseline on the shared names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..algorithms import FischerLock, mutex_session
+from ..analysis import experiments
+from ..sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    Program,
+    RandomTieBreak,
+    UniformTiming,
+    ops,
+)
+from ..sim.registers import Array, Register, RegisterNamespace
+from ..verify import MutualExclusionProperty, explore
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_names", "get_scenario"]
+
+_DELTA = 1.0
+# Named bounds for the micro-scenarios' delay/local phases (timing
+# assumptions stay auditable — see lint rule TMF005).
+_THINK = 0.4 * _DELTA
+_PAUSE = 0.6 * _DELTA
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark workload."""
+
+    name: str
+    description: str
+    quick: bool
+    fn: Callable[[], Optional[Dict[str, int]]]
+
+
+# ---------------------------------------------------------------------------
+# Micro-scenarios: the engine event loop and the explorer, isolated.
+# ---------------------------------------------------------------------------
+
+
+def _pingpong_prog(reg: Register, rounds: int) -> Program:
+    for _ in range(rounds):
+        value = yield reg.read()
+        yield reg.write(value + 1)
+
+
+def _engine_pingpong() -> None:
+    """Private-register read/write churn: pure event-loop throughput."""
+    slots = Array("bench_slot", 0)
+    engine = Engine(delta=_DELTA, timing=ConstantTiming(0.5 * _DELTA))
+    for pid in range(8):
+        engine.spawn(_pingpong_prog(slots[pid], 120), pid=pid)
+    result = engine.run()
+    assert result.completed
+
+
+def _engine_contention() -> None:
+    """Everyone hammers one register under jitter and random tie-breaks."""
+    hot = Register("bench_hot", 0)
+    engine = Engine(
+        delta=_DELTA,
+        timing=UniformTiming(0.2 * _DELTA, _DELTA, seed=7),
+        tie_break=RandomTieBreak(seed=11),
+    )
+    for pid in range(6):
+        engine.spawn(_pingpong_prog(hot, 60), pid=pid)
+    result = engine.run()
+    assert result.completed
+
+
+def _mixed_prog(reg: Register, rounds: int) -> Program:
+    for _ in range(rounds):
+        yield ops.delay(_THINK)
+        yield reg.write(1)
+        yield ops.local_work(_PAUSE)
+        yield reg.write(0)
+
+
+def _engine_delays_and_crashes() -> None:
+    """Delay/local-work paths plus the crash machinery, one run."""
+    slots = Array("bench_mixed", 0)
+    engine = Engine(
+        delta=_DELTA,
+        timing=ConstantTiming(0.3 * _DELTA),
+        crashes=CrashSchedule(after_steps={0: 25}, at_time={1: 30.0}),
+    )
+    for pid in range(4):
+        engine.spawn(_mixed_prog(slots[pid], 40), pid=pid)
+    engine.run()
+
+
+def _explorer_fischer() -> Dict[str, int]:
+    """Exhaustive interleaving exploration; counters from the result."""
+    lock = FischerLock(delta=_DELTA, namespace=RegisterNamespace(("bench", "f")))
+    factories = {
+        pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=1.0))
+        for pid in range(2)
+    }
+    result = explore(
+        factories,
+        [MutualExclusionProperty()],
+        max_ops=12,
+        stop_at_first_violation=False,
+    )
+    return {
+        "explorer_states": result.states,
+        "explorer_transitions": result.transitions,
+        "explorer_max_depth": result.max_depth,
+        "explorer_violations": len(result.violations),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Experiment scenarios: the paper's drivers, instrumented from outside.
+# ---------------------------------------------------------------------------
+
+
+def _experiment(fn: Callable, *args, **kwargs) -> Callable[[], None]:
+    def run() -> None:
+        fn(*args, **kwargs)
+
+    return run
+
+
+_REGISTRY: List[Scenario] = [
+    Scenario(
+        "engine/pingpong",
+        "8 processes x 120 private read/write rounds (event-loop throughput)",
+        quick=True,
+        fn=_engine_pingpong,
+    ),
+    Scenario(
+        "engine/contention",
+        "6 processes x 60 rounds on one register, jitter + random tie-breaks",
+        quick=True,
+        fn=_engine_contention,
+    ),
+    Scenario(
+        "engine/delays_crashes",
+        "4 processes mixing delay/local-work/writes with two crash kinds",
+        quick=True,
+        fn=_engine_delays_and_crashes,
+    ),
+    Scenario(
+        "explorer/fischer_n2",
+        "exhaustive exploration of Fischer n=2 (max_ops=12, all violations)",
+        quick=True,
+        fn=_explorer_fischer,
+    ),
+    Scenario(
+        "experiments/e4_fastpath",
+        "E4: contention-free fast path scenarios",
+        quick=True,
+        fn=_experiment(experiments.run_e4),
+    ),
+    Scenario(
+        "experiments/e5_scaling",
+        "E5 (reduced): open participation scaling, n in (2, 8, 32)",
+        quick=True,
+        fn=_experiment(experiments.run_e5, ns=(2, 8, 32)),
+    ),
+    Scenario(
+        "experiments/e7_mutex",
+        "E7 (reduced): mutex time complexity, n in (2, 4), 2 sessions",
+        quick=True,
+        fn=_experiment(experiments.run_e7, ns=(2, 4), sessions=2),
+    ),
+    Scenario(
+        "experiments/e9_space",
+        "E9 (reduced): register counts vs the lower bound, n=4",
+        quick=True,
+        fn=_experiment(experiments.run_e9, n=4),
+    ),
+    # -- full-only: the heavier drivers ------------------------------------
+    Scenario(
+        "experiments/e1_decision_time",
+        "E1 (reduced): decision time without failures, n in (1..8), 2 seeds",
+        quick=False,
+        fn=_experiment(experiments.run_e1, ns=(1, 2, 4, 8), seeds=(0, 1)),
+    ),
+    Scenario(
+        "experiments/e2_recovery",
+        "E2: recovery after timing-failure windows",
+        quick=False,
+        fn=_experiment(experiments.run_e2),
+    ),
+    Scenario(
+        "experiments/e3_waitfree",
+        "E3 (reduced): wait-freedom under crashes, n in (2, 4, 8)",
+        quick=False,
+        fn=_experiment(experiments.run_e3, ns=(2, 4, 8)),
+    ),
+    Scenario(
+        "experiments/e6_safety",
+        "E6 (reduced): exhaustive + 50 randomized adversity seeds",
+        quick=False,
+        fn=_experiment(experiments.run_e6, random_seeds=50),
+    ),
+    Scenario(
+        "experiments/e8_convergence",
+        "E8: convergence after a doorway breach",
+        quick=False,
+        fn=_experiment(experiments.run_e8),
+    ),
+    Scenario(
+        "experiments/e10_optimistic",
+        "E10: optimistic delay-estimate sweep with AIMD tuning",
+        quick=False,
+        fn=_experiment(experiments.run_e10),
+    ),
+    Scenario(
+        "experiments/e11_unknown_bound",
+        "E11: known bound vs doubling estimates",
+        quick=False,
+        fn=_experiment(experiments.run_e11),
+    ),
+    Scenario(
+        "experiments/e12_derived",
+        "E12: derived wait-free objects under failure injection",
+        quick=False,
+        fn=_experiment(experiments.run_e12),
+    ),
+    Scenario(
+        "experiments/e13_model_checking",
+        "E13 (reduced): Fischer vs Algorithm 3 under the model checker",
+        quick=False,
+        fn=_experiment(experiments.run_e13, max_ops=22),
+    ),
+]
+
+SCENARIOS: Dict[str, Scenario] = {s.name: s for s in _REGISTRY}
+
+
+def scenario_names(mode: str = "quick") -> List[str]:
+    """Scenario names for a mode (``quick`` is a subset of ``full``)."""
+    if mode == "quick":
+        return [s.name for s in _REGISTRY if s.quick]
+    if mode == "full":
+        return [s.name for s in _REGISTRY]
+    raise ValueError(f"unknown mode {mode!r}; expected 'quick' or 'full'")
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        ) from None

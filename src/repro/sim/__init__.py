@@ -22,6 +22,7 @@ from .adversary import (
 )
 from .clock import VirtualClock
 from .engine import Engine, RunResult, RunStatus, SimulationError
+from .instrument import EngineProbe, active_probe, probe_scope
 from .failures import (CrashSchedule, MemoryFault, TimingFailureWindow,
                        failure_window, merge_windows)
 from .ops import (
@@ -69,6 +70,10 @@ __all__ = [
     "RunStatus",
     "SimulationError",
     "VirtualClock",
+    # instrumentation
+    "EngineProbe",
+    "active_probe",
+    "probe_scope",
     # processes
     "Process",
     "ProcessState",

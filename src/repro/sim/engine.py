@@ -28,11 +28,12 @@ import enum
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from .clock import VirtualClock
 from .failures import CrashSchedule, MemoryFault
+from .instrument import EngineProbe, active_probe
 from .ops import Delay, Label, LocalWork, Op, Read, ReadModifyWrite, Write
 from .process import Process, ProcessState, Program
 from .registers import Memory
@@ -116,17 +117,15 @@ _FAULT = "fault"
 #: Pseudo-pid used for scheduler bookkeeping of injected memory faults.
 FAULT_PID = -1
 
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    priority: Tuple
-    seq: int
-    pid: int = field(compare=False)
-    action: str = field(compare=False)
-    op: Optional[Op] = field(compare=False, default=None)
-    issued: float = field(compare=False, default=0.0)
-    send_value: Any = field(compare=False, default=None)
+# Heap entries are plain tuples, ordered lexicographically by
+# (time, priority, seq).  ``seq`` is unique per entry, so comparison never
+# reaches the payload fields behind it:
+#
+#     (time, priority, seq, pid, action, op, issued, payload)
+#
+# Tuples instead of a dataclass keep the hot loop free of per-event object
+# construction and rich-comparison dispatch (~20% of event-loop time on
+# the bench pingpong micro-scenario).
 
 
 class Engine:
@@ -149,6 +148,11 @@ class Engine:
         :class:`RunStatus` (needed because asynchronous adversaries can
         make consensus run forever — FLP — and busy-wait loops never
         terminate on their own).
+    probe:
+        Optional :class:`~repro.sim.instrument.EngineProbe` accumulating
+        deterministic work counters.  Defaults to the ambient
+        :func:`~repro.sim.instrument.probe_scope` probe, i.e. ``None``
+        outside any scope — in which case instrumentation costs nothing.
     """
 
     def __init__(
@@ -161,6 +165,7 @@ class Engine:
         max_total_steps: float = math.inf,
         memory: Optional[Memory] = None,
         faults: Optional[List[MemoryFault]] = None,
+        probe: Optional[EngineProbe] = None,
     ) -> None:
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
@@ -175,21 +180,17 @@ class Engine:
         self.clock = VirtualClock()
         self.trace = Trace(delta)
         self.processes: Dict[int, Process] = {}
-        self._heap: List[_Event] = []
+        self._heap: List[Tuple] = []
         self._seq = itertools.count()
         self._event_seq = itertools.count()
         self.total_shared_steps = 0
         self._ran = False
+        self._probe = probe if probe is not None else active_probe()
+        # FifoTieBreak priorities are just the issue sequence number; skip
+        # the method call and the 1-tuple per push for the default policy.
+        self._fifo = type(self.tie_break) is FifoTieBreak
         for fault in faults or ():
-            event = _Event(
-                time=fault.at,
-                priority=self.tie_break.priority(FAULT_PID, next(self._seq)),
-                seq=next(self._event_seq),
-                pid=FAULT_PID,
-                action=_FAULT,
-                send_value=fault,
-            )
-            heapq.heappush(self._heap, event)
+            self._push(fault.at, FAULT_PID, _FAULT, payload=fault)
 
     # -- setup ---------------------------------------------------------------
 
@@ -228,17 +229,17 @@ class Engine:
         action: str,
         op: Optional[Op] = None,
         issued: float = 0.0,
+        payload: Any = None,
     ) -> None:
-        event = _Event(
-            time=time,
-            priority=self.tie_break.priority(pid, next(self._seq)),
-            seq=next(self._event_seq),
-            pid=pid,
-            action=action,
-            op=op,
-            issued=issued,
+        seq = next(self._seq)
+        priority: Any = seq if self._fifo else self.tie_break.priority(pid, seq)
+        probe = self._probe
+        if probe is not None:
+            probe.heap_pushes += 1
+        heapq.heappush(
+            self._heap,
+            (time, priority, next(self._event_seq), pid, action, op, issued, payload),
         )
-        heapq.heappush(self._heap, event)
 
     # -- main loop ---------------------------------------------------------------
 
@@ -248,44 +249,72 @@ class Engine:
             raise RuntimeError("Engine.run() may only be called once")
         self._ran = True
         status = RunStatus.COMPLETED
-        while self._heap:
+        # The event loop is the simulator's hot path: bind everything it
+        # touches per event to locals once, and order the action checks by
+        # frequency (completions dominate every workload).
+        heap = self._heap
+        heappop = heapq.heappop
+        processes = self.processes
+        advance_to = self.clock.advance_to
+        max_time = self.max_time
+        complete = self._complete
+        probe = self._probe
+        while heap:
             if self.total_shared_steps >= self.max_total_steps:
                 status = RunStatus.STEP_LIMIT
                 break
-            event = heapq.heappop(self._heap)
-            if event.time > self.max_time:
+            time, _priority, _seq, pid, action, op, issued, payload = heappop(heap)
+            if time > max_time:
                 status = RunStatus.TIME_LIMIT
                 break
-            if event.action == _FAULT:
-                self.clock.advance_to(event.time)
-                fault: MemoryFault = event.send_value
+            if probe is not None:
+                probe.events += 1
+            if action == _COMPLETE:
+                proc = processes[pid]
+                if not proc.alive:
+                    continue  # stale event for a crashed process
+                advance_to(time)
+                complete(proc, op, issued, time)
+                continue
+            if action == _FAULT:
+                advance_to(time)
+                fault: MemoryFault = payload
                 self.memory.poke(fault.register, fault.value)
                 self.trace.append(
                     TraceEvent(
                         seq=next(self._event_seq),
                         pid=FAULT_PID,
                         kind=EventKind.FAULT,
-                        issued=event.time,
-                        completed=event.time,
+                        issued=time,
+                        completed=time,
                         register=fault.register.name,
                         value=fault.value,
                     )
                 )
                 continue
-            proc = self.processes[event.pid]
-            if event.action == _CRASH:
-                self._crash(proc, event.time)
+            proc = processes[pid]
+            if action == _CRASH:
+                self._crash(proc, time)
                 continue
             if not proc.alive:
                 continue  # stale event for a crashed process
-            self.clock.advance_to(event.time)
-            if event.action == _START:
-                self._start(proc, event.time)
-            elif event.action == _COMPLETE:
-                self._complete(proc, event.op, event.issued, event.time)
+            advance_to(time)
+            if action == _START:
+                self._start(proc, time)
             else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event action {event.action!r}")
+                raise SimulationError(f"unknown event action {action!r}")
         self.trace.finalize()
+        if probe is not None:
+            probe.runs += 1
+            probe.ops_linearized += sum(
+                p.total_ops for p in self.processes.values()
+            )
+            probe.shared_steps += self.total_shared_steps
+            probe.trace_events += len(self.trace)
+            probe.reads += self.memory.read_count
+            probe.writes += self.memory.write_count
+            probe.rmws += self.memory.rmw_count
+            probe.registers_touched += self.memory.register_count
         return RunResult(
             status=status,
             trace=self.trace,

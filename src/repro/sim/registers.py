@@ -101,7 +101,14 @@ class Memory:
     thread backend in :mod:`repro.runtime` uses a lock per memory instead.)
     """
 
-    __slots__ = ("_store", "_touched", "_write_count", "_read_count", "_initials")
+    __slots__ = (
+        "_store",
+        "_touched",
+        "_write_count",
+        "_read_count",
+        "_rmw_count",
+        "_initials",
+    )
 
     def __init__(self) -> None:
         self._store: Dict[Hashable, Any] = {}
@@ -109,6 +116,7 @@ class Memory:
         self._initials: Dict[Hashable, Any] = {}
         self._write_count = 0
         self._read_count = 0
+        self._rmw_count = 0
 
     def read(self, register: Register) -> Any:
         """Atomically read ``register`` (its initial value if unwritten)."""
@@ -131,6 +139,7 @@ class Memory:
         self._touch(register)
         self._read_count += 1
         self._write_count += 1
+        self._rmw_count += 1
         old = self._store.get(register.name, register.initial)
         new, result = transform(old)
         self._store[register.name] = new
@@ -174,6 +183,11 @@ class Memory:
     @property
     def write_count(self) -> int:
         return self._write_count
+
+    @property
+    def rmw_count(self) -> int:
+        """Read-modify-writes applied (each also counts one read + one write)."""
+        return self._rmw_count
 
     def snapshot(self) -> Dict[Hashable, Any]:
         """A copy of the written cells (unwritten cells are implicit)."""

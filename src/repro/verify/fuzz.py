@@ -9,6 +9,16 @@ at every state.  No soundness claim — only exhaustiveness finds the last
 bug — but thousands of random interleavings of a 4-6 process
 configuration catch what fixed timing models miss, and every violation
 comes back with its replayable schedule, exactly like the explorer's.
+
+The module is also runnable — the nightly CI workflow drives the
+standard campaigns with a rotating (date-derived) seed, so every night
+hammers fresh schedules::
+
+    python -m repro.verify.fuzz --seed 20260805 --schedules 500
+
+Campaigns: Fischer n=3 (a violation MUST be found), Algorithm 3 n=4 and
+Algorithm 1 n=4 (no violation may exist).  Exit 0 when every expectation
+holds, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from .explorer import Violation
 from .properties import SafetyProperty
 from .sandbox import ProgramFactory, Sandbox
 
-__all__ = ["FuzzResult", "fuzz"]
+__all__ = ["FuzzResult", "fuzz", "main"]
 
 
 @dataclass
@@ -101,3 +111,88 @@ def fuzz(
         if all(sandbox.done(pid) for pid in factories):
             result.completed_runs += 1
     return result
+
+
+def _standard_campaigns(seed: int, schedules: int):
+    """(name, factories, properties, kwargs, expect_violation) tuples.
+
+    Imports live here to keep :mod:`repro.verify` free of an import cycle
+    with the algorithm packages.
+    """
+    from ..algorithms import FischerLock, mutex_session
+    from ..core.consensus import TimeResilientConsensus, labeled_decision
+    from ..core.mutex import default_time_resilient_mutex
+    from .properties import (
+        AgreementProperty,
+        MutualExclusionProperty,
+        ValidityProperty,
+    )
+
+    fischer = FischerLock(delta=1.0)
+    alg3 = default_time_resilient_mutex(4, delta=1.0)
+    consensus = TimeResilientConsensus(delta=1.0, max_rounds=3)
+    inputs = {pid: pid % 2 for pid in range(4)}
+    return [
+        (
+            "fischer_n3",
+            {pid: (lambda p: mutex_session(fischer, p, sessions=1,
+                                           cs_duration=1.0))
+             for pid in range(3)},
+            [MutualExclusionProperty()],
+            {"schedules": schedules, "max_ops": 40, "seed": seed},
+            True,
+        ),
+        (
+            "alg3_n4",
+            {pid: (lambda p: mutex_session(alg3, p, sessions=1,
+                                           cs_duration=1.0))
+             for pid in range(4)},
+            [MutualExclusionProperty()],
+            {"schedules": schedules, "max_ops": 120, "seed": seed + 1},
+            False,
+        ),
+        (
+            "consensus_n4",
+            {pid: (lambda p: labeled_decision(consensus.propose(p, inputs[p])))
+             for pid in inputs},
+            [AgreementProperty(), ValidityProperty(inputs)],
+            {"schedules": schedules, "max_ops": 80, "seed": seed + 2},
+            False,
+        ),
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI driver for the standard fuzzing campaigns (see module doc)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="Run the standard schedule-fuzzing campaigns.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (rotate it nightly)")
+    parser.add_argument("--schedules", type=int, default=500,
+                        help="random schedules per campaign (default: 500)")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name, factories, properties, kwargs, expect_violation in (
+            _standard_campaigns(args.seed, args.schedules)):
+        result = fuzz(factories, properties, **kwargs)
+        if expect_violation:
+            ok = not result.ok
+            expectation = "violation expected"
+        else:
+            ok = result.ok
+            expectation = "must stay safe"
+        print(f"{'ok  ' if ok else 'FAIL'} {name:<14} ({expectation}): {result!r}")
+        if not ok:
+            failures += 1
+            for violation in result.violations[:3]:
+                print(f"     {violation!r}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""End-to-end CLI: run documents, the baseline gate, usage errors."""
+
+import io
+import json
+
+from repro.bench.cli import main
+
+
+def run_cli(*argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(list(argv), out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+def test_list_names_every_scenario():
+    code, out, _ = run_cli("list")
+    assert code == 0
+    assert "engine/pingpong" in out and "[quick]" in out and "[full ]" in out
+
+
+def test_run_only_writes_document(tmp_path):
+    path = tmp_path / "bench.json"
+    code, out, _ = run_cli("run", "--quick", "--only", "engine/pingpong",
+                           "--json", str(path))
+    assert code == 0
+    doc = json.loads(path.read_text())
+    assert doc["kind"] == "repro.bench"
+    assert set(doc["scenarios"]) == {"engine/pingpong"}
+    counters = doc["scenarios"]["engine/pingpong"]["counters"]
+    assert counters["events"] > 0
+    assert "engine/pingpong" in out
+
+
+def test_run_unknown_scenario_is_usage_error(tmp_path):
+    code, _, err = run_cli("run", "--only", "engine/nope")
+    assert code == 2
+    assert "unknown scenario" in err
+
+
+def test_compare_clean_and_injected_regression(tmp_path):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    for path in (old, new):
+        code, _, _ = run_cli("run", "--only", "engine/contention",
+                             "--json", str(path))
+        assert code == 0
+
+    code, out, _ = run_cli("compare", str(old), str(new))
+    assert code == 0, out
+
+    # Inject a counter regression: the gate must trip.
+    doc = json.loads(new.read_text())
+    doc["scenarios"]["engine/contention"]["counters"]["shared_steps"] += 1
+    new.write_text(json.dumps(doc))
+    code, out, err = run_cli("compare", str(old), str(new))
+    assert code == 1
+    assert "DRIFT" in out and "engine/contention" in err
+
+
+def test_compare_bad_threshold_and_missing_file(tmp_path):
+    good = tmp_path / "good.json"
+    run_cli("run", "--only", "engine/pingpong", "--json", str(good))
+    code, _, err = run_cli("compare", str(good), str(good),
+                           "--max-regression", "lots")
+    assert code == 2 and "threshold" in err
+    code, _, err = run_cli("compare", str(tmp_path / "nope.json"), str(good))
+    assert code == 2 and "cannot read" in err
+
+
+def test_committed_baseline_has_all_quick_scenarios():
+    """BENCH_core.json stays in sync with the quick scenario set."""
+    from pathlib import Path
+
+    from repro.bench import scenario_names
+
+    root = Path(__file__).resolve().parents[2]
+    doc = json.loads((root / "BENCH_core.json").read_text())
+    assert doc["mode"] == "quick"
+    assert set(doc["scenarios"]) == set(scenario_names("quick"))
+    for entry in doc["scenarios"].values():
+        assert entry["counters"] and entry["wall_time_s"] > 0

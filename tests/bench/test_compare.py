@@ -1,0 +1,105 @@
+"""compare: verdicts, gating rules, exit codes, threshold parsing."""
+
+import copy
+
+import pytest
+
+from repro.bench import compare_documents, parse_ratio
+from repro.bench.compare import EXIT_FAIL, EXIT_OK
+
+
+def doc(wall=1.0, events=100, extra_scenario=False):
+    scenarios = {
+        "engine/pingpong": {
+            "counters": {"events": events, "shared_steps": 50},
+            "wall_time_s": wall,
+        }
+    }
+    if extra_scenario:
+        scenarios["experiments/e1"] = {
+            "counters": {"events": 7},
+            "wall_time_s": 0.5,
+        }
+    return {"schema": 1, "kind": "repro.bench", "mode": "quick",
+            "scenarios": scenarios}
+
+
+def verdict_of(report, name="engine/pingpong"):
+    return next(s for s in report.scenarios if s.name == name).verdict
+
+
+class TestVerdicts:
+    def test_identical_documents_are_ok(self):
+        report = compare_documents(doc(), copy.deepcopy(doc()))
+        assert verdict_of(report) == "ok"
+        assert report.exit_code() == EXIT_OK
+
+    def test_counter_change_is_drift_regardless_of_direction(self):
+        for delta in (+1, -1):
+            report = compare_documents(doc(events=100), doc(events=100 + delta))
+            assert verdict_of(report) == "drift"
+            assert report.exit_code() == EXIT_FAIL
+
+    def test_drift_lists_the_changed_counters(self):
+        report = compare_documents(doc(events=100), doc(events=93))
+        (comparison,) = report.counter_failures
+        (drift,) = comparison.drifts
+        assert (drift.counter, drift.old, drift.new) == ("events", 100, 93)
+
+    def test_wall_regression_warns_but_does_not_gate_by_default(self):
+        report = compare_documents(doc(wall=1.0), doc(wall=1.5))
+        assert verdict_of(report) == "regression"
+        assert report.exit_code() == EXIT_OK
+        assert report.exit_code(fail_on_wall=True) == EXIT_FAIL
+
+    def test_wall_improvement_detected(self):
+        report = compare_documents(doc(wall=1.0), doc(wall=0.5))
+        assert verdict_of(report) == "improvement"
+        assert report.exit_code(fail_on_wall=True) == EXIT_OK
+
+    def test_wall_within_threshold_is_ok(self):
+        report = compare_documents(doc(wall=1.0), doc(wall=1.15))
+        assert verdict_of(report) == "ok"
+
+    def test_threshold_is_configurable(self):
+        report = compare_documents(doc(wall=1.0), doc(wall=1.15),
+                                   max_regression=0.1)
+        assert verdict_of(report) == "regression"
+
+    def test_drift_beats_wall_regression(self):
+        report = compare_documents(doc(events=100, wall=1.0),
+                                   doc(events=99, wall=9.0))
+        assert verdict_of(report) == "drift"
+
+    def test_missing_scenario_fails_new_scenario_informs(self):
+        report = compare_documents(doc(extra_scenario=True), doc())
+        assert verdict_of(report, "experiments/e1") == "missing"
+        assert report.exit_code() == EXIT_FAIL
+
+        report = compare_documents(doc(), doc(extra_scenario=True))
+        assert verdict_of(report, "experiments/e1") == "new"
+        assert report.exit_code() == EXIT_OK
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValueError):
+            compare_documents({"schema": 1}, doc())
+
+    def test_render_mentions_every_scenario(self):
+        report = compare_documents(doc(extra_scenario=True),
+                                   doc(events=99))
+        text = report.render()
+        assert "engine/pingpong" in text and "experiments/e1" in text
+        assert "DRIFT" in text and "MISSING" in text
+
+
+class TestParseRatio:
+    @pytest.mark.parametrize("text,expected", [
+        ("20%", 0.2), ("0.2", 0.2), (" 5% ", 0.05), ("1.5", 1.5), ("0", 0.0),
+    ])
+    def test_accepted(self, text, expected):
+        assert parse_ratio(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["twenty", "%", "-5%", "-0.1"])
+    def test_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_ratio(text)

@@ -1,0 +1,119 @@
+"""Engine/Memory instrumentation: correct counts, zero-cost when off."""
+
+from repro.sim import (
+    ConstantTiming,
+    Engine,
+    EngineProbe,
+    active_probe,
+    probe_scope,
+)
+from repro.sim.ops import fetch_and_add
+from repro.sim.registers import Array, Memory, Register
+
+
+def _pingpong(reg, rounds):
+    for _ in range(rounds):
+        value = yield reg.read()
+        yield reg.write(value + 1)
+
+
+def _run(n=4, rounds=10, probe=None):
+    slots = Array("slot", 0)
+    engine = Engine(delta=1.0, timing=ConstantTiming(0.5), probe=probe)
+    for pid in range(n):
+        engine.spawn(_pingpong(slots[pid], rounds), pid=pid)
+    return engine.run(), engine
+
+
+class TestDisabledFastPath:
+    def test_probe_is_off_by_default(self):
+        engine = Engine(delta=1.0, timing=ConstantTiming(0.5))
+        assert engine._probe is None
+        assert active_probe() is None
+
+    def test_run_identical_with_and_without_probe(self):
+        bare, _ = _run()
+        probed, _ = _run(probe=EngineProbe())
+        assert len(bare.trace) == len(probed.trace)
+        assert bare.end_time == probed.end_time
+        assert bare.memory.snapshot() == probed.memory.snapshot()
+        assert bare.returns == probed.returns
+
+
+class TestCounts:
+    def test_exact_counts_on_known_workload(self):
+        probe = EngineProbe()
+        result, _ = _run(n=4, rounds=10, probe=probe)
+        assert result.completed
+        snap = probe.snapshot()
+        # 4 procs x 10 rounds x (read + write) shared ops, plus a start
+        # event per process; every op completion is one heap push/pop.
+        assert snap["runs"] == 1
+        assert snap["shared_steps"] == 80
+        assert snap["reads"] == 40
+        assert snap["writes"] == 40
+        assert snap["rmws"] == 0
+        assert snap["registers_touched"] == 4
+        assert snap["events"] == snap["heap_pushes"] == 84
+        assert snap["ops_linearized"] == 80
+        assert snap["trace_events"] == len(result.trace)
+
+    def test_rmw_counted_by_memory_and_probe(self):
+        reg = Register("ctr", 0)
+
+        def bump(pid):
+            yield fetch_and_add(reg, 1)
+
+        probe = EngineProbe()
+        engine = Engine(delta=1.0, timing=ConstantTiming(0.5), probe=probe)
+        for pid in range(3):
+            engine.spawn(bump(pid), pid=pid)
+        result = engine.run()
+        assert result.memory.rmw_count == 3
+        assert probe.snapshot()["rmws"] == 3
+        # rmw still counts one read + one write each, as before.
+        assert result.memory.read_count == 3
+        assert result.memory.write_count == 3
+
+    def test_memory_rmw_count_standalone(self):
+        memory = Memory()
+        reg = Register("x", 0)
+        memory.rmw(reg, lambda old: (old + 1, old))
+        memory.write(reg, 5)
+        assert memory.rmw_count == 1
+        assert memory.read_count == 1
+        assert memory.write_count == 2
+
+
+class TestProbeScope:
+    def test_engines_in_scope_attach_and_aggregate(self):
+        probe = EngineProbe()
+        with probe_scope(probe):
+            _run(n=2, rounds=3)
+            _run(n=2, rounds=3)
+        assert probe.runs == 2
+        assert probe.shared_steps == 24
+        assert active_probe() is None
+
+    def test_scope_restores_previous_probe(self):
+        outer, inner = EngineProbe(), EngineProbe()
+        with probe_scope(outer):
+            with probe_scope(inner):
+                _run(n=1, rounds=1)
+            assert active_probe() is outer
+            _run(n=1, rounds=1)
+        assert inner.runs == 1
+        assert outer.runs == 1
+
+    def test_explicit_probe_wins_over_scope(self):
+        ambient, explicit = EngineProbe(), EngineProbe()
+        with probe_scope(ambient):
+            _run(n=1, rounds=1, probe=explicit)
+        assert explicit.runs == 1
+        assert ambient.runs == 0
+
+    def test_reset_zeroes_everything(self):
+        probe = EngineProbe()
+        _run(probe=probe)
+        probe.reset()
+        assert all(v == 0 for v in probe.snapshot().values())
