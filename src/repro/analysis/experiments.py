@@ -35,6 +35,13 @@ from ..core.derived import TestAndSet as TasObject
 from ..core.mutex import TimeResilientMutex, default_time_resilient_mutex
 from ..core.optimistic import AimdEstimator, FixedEstimate, tune
 from ..core.resilience import check_resilience
+from ..net import (
+    DelaySpike,
+    NetFaultPlan,
+    Partition,
+    QuorumSystem,
+    convergence_start,
+)
 from ..sim import (
     ConstantTiming,
     CrashSchedule,
@@ -65,6 +72,7 @@ from .tables import ExperimentTable
 __all__ = [
     "run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6", "run_e7",
     "run_e8", "run_e9", "run_e10", "run_e11", "run_e12", "run_e13",
+    "run_e1_net", "run_e8_net",
     "ALL_EXPERIMENTS", "run_all", "main",
 ]
 
@@ -660,6 +668,131 @@ def run_e13(max_ops: int = 26) -> ExperimentTable:
 
 
 # ---------------------------------------------------------------------------
+# E1N — E1 on the networked substrate: decision within 15·Δ_net.
+# ---------------------------------------------------------------------------
+
+def run_e1_net(
+    ns: Sequence[int] = (2, 3), seeds: Sequence[int] = (0, 1)
+) -> ExperimentTable:
+    """E1 re-run over quorum-emulated registers (unit: ``Δ_net``).
+
+    The resilience bridge (:mod:`repro.net.resilience`) reads Theorem
+    2.1(1) with the emulated-operation bound ``Δ_net`` in place of ``Δ``;
+    Algorithm 1 itself is byte-identical to the shared-memory runs — only
+    the substrate changed.
+    """
+    table = ExperimentTable(
+        "E1N",
+        "Networked consensus decision time over ABD quorum registers "
+        "(bound: 15·Δ_net)",
+        ["n", "Δ_net", "worst time (Δ_net)", "mean time (Δ_net)",
+         "messages", "quorum RTTs", "within 15Δ_net"],
+    )
+    for n in ns:
+        worst = 0.0
+        total = 0.0
+        count = 0
+        messages = 0
+        rtts = 0
+        delta_net = 0.0
+        for seed in seeds:
+            inputs = dict(enumerate(consensus_inputs(n, "split")))
+            system = QuorumSystem(clients=n, seed=seed)
+            delta_net = system.delta
+            consensus = TimeResilientConsensus(delta=system.delta)
+            programs = [
+                labeled_decision(consensus.propose(pid, inputs[pid]))
+                for pid in range(n)
+            ]
+            result = system.run(programs)
+            verdict = check_consensus(
+                result, inputs, expected_decided=system.client_pids
+            )
+            assert verdict.ok, verdict
+            for pid in range(n):
+                t = result.trace.decision_time(pid)
+                worst = max(worst, t / system.delta)
+                total += t / system.delta
+                count += 1
+            messages += system.transport.stats.messages_sent
+            rtts += system.transport.stats.quorum_rtts
+        table.add_row(
+            n, delta_net, worst, total / count, messages, rtts, worst <= 15.0
+        )
+    table.notes.append(
+        "a shared step is one emulated quorum operation, so the theorem's "
+        "unit is Δ_net = emulated_op_bound(delivery bound); split inputs"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E8N — convergence on the networked substrate after a fault window.
+# ---------------------------------------------------------------------------
+
+def run_e8_net(n: int = 2, sessions: int = 2) -> ExperimentTable:
+    """Algorithm 3 mutex over the quorum under healing fault windows.
+
+    Unlike E8 (a doorway-breach flood, a shared-memory adversary with no
+    message-level analogue), the networked convergence claim is the
+    resilience theorems' own: exclusion holds *throughout* the window and
+    critical-section progress resumes once deliveries respect the bound
+    again (:func:`repro.net.convergence_start`).
+    """
+    bound = 1.0
+    replicas = 3
+    # Pids 0..n-1 are clients, n..n+replicas-1 are replicas; the partition
+    # cuts a majority of replicas off, so operations *block* inside the
+    # window (retransmission carries them over the heal).
+    cut = tuple(range(n + 1, n + replicas))
+    rest = tuple(pid for pid in range(n + replicas) if pid not in cut)
+    plans = [
+        ("none", NetFaultPlan.none()),
+        ("delay-spike (6Δ_link)", NetFaultPlan(spikes=(
+            DelaySpike(start=2.0, end=2.0 + 6.0 * bound,
+                       stretch=4.0, extra=bound),
+        ))),
+        ("partition (6Δ_link, majority cut)", NetFaultPlan(partitions=(
+            Partition(start=2.0, end=2.0 + 6.0 * bound, groups=(rest, cut)),
+        ))),
+    ]
+    table = ExperimentTable(
+        "E8N",
+        "Networked mutex (Algorithm 3 over quorum registers) under fault "
+        "windows",
+        ["fault plan", "exclusion held", "CS entries",
+         "entries after window", "converged"],
+    )
+    for name, faults in plans:
+        system = QuorumSystem(
+            clients=n, replicas=replicas, bound=bound, seed=0, faults=faults
+        )
+        lock = default_time_resilient_mutex(n, delta=system.delta)
+        programs = [
+            mutex_session(lock, pid, sessions, cs_duration=0.2,
+                          ncs_duration=0.2)
+            for pid in range(n)
+        ]
+        result = system.run(programs)
+        exclusion = check_mutual_exclusion(result.trace) == []
+        entries = result.trace.cs_intervals()
+        resume_at = convergence_start(faults)
+        after = [iv for iv in entries if iv.enter >= resume_at]
+        converged = (
+            result.status is RunStatus.COMPLETED
+            and len(entries) == n * sessions
+            and (resume_at == 0.0 or len(after) > 0)
+        )
+        table.add_row(name, exclusion, len(entries), len(after), converged)
+    table.notes.append(
+        "exclusion must hold even inside the windows (safety never rests); "
+        "convergence = every session completes and entries resume after "
+        "the last window closes"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
 
 ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
@@ -675,11 +808,19 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
     "E11": run_e11,
     "E12": run_e12,
     "E13": run_e13,
+    "E1N": run_e1_net,
+    "E8N": run_e8_net,
 }
 
 
+def _experiment_order(experiment_id: str):
+    """Numeric-then-suffix sort: E1, E1N, E2, ..., E8, E8N, E9, E10, ..."""
+    digits = "".join(ch for ch in experiment_id if ch.isdigit())
+    return (int(digits), experiment_id)
+
+
 def run_all(ids: Optional[Sequence[str]] = None) -> List[ExperimentTable]:
-    chosen = list(ids) if ids else sorted(ALL_EXPERIMENTS, key=lambda e: int(e[1:]))
+    chosen = list(ids) if ids else sorted(ALL_EXPERIMENTS, key=_experiment_order)
     tables = []
     for experiment_id in chosen:
         runner = ALL_EXPERIMENTS.get(experiment_id.upper())

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..algorithms import FischerLock, mutex_session
 from ..analysis import experiments
+from ..net import QuorumSystem
 from ..sim import (
     ConstantTiming,
     CrashSchedule,
@@ -136,6 +137,25 @@ def _explorer_fischer() -> Dict[str, int]:
 
 
 # ---------------------------------------------------------------------------
+# Net scenarios: the message fabric and the ABD quorum emulation.
+# ---------------------------------------------------------------------------
+
+
+def _abd_prog(reg: Register, rounds: int) -> Program:
+    for i in range(rounds):
+        yield reg.write(i)
+        yield reg.read()
+
+
+def _net_abd_read_write() -> None:
+    """Two clients churn one ABD quorum register (message + RTT counters)."""
+    reg = Register("bench_net", 0)
+    system = QuorumSystem(clients=2, replicas=3, bound=_DELTA, seed=3)
+    result = system.run([_abd_prog(reg, 12) for _ in range(2)])
+    assert result.completed
+
+
+# ---------------------------------------------------------------------------
 # Experiment scenarios: the paper's drivers, instrumented from outside.
 # ---------------------------------------------------------------------------
 
@@ -171,6 +191,18 @@ _REGISTRY: List[Scenario] = [
         "exhaustive exploration of Fischer n=2 (max_ops=12, all violations)",
         quick=True,
         fn=_explorer_fischer,
+    ),
+    Scenario(
+        "net/abd_read_write",
+        "2 clients x 12 write/read rounds on one quorum register (3 replicas)",
+        quick=True,
+        fn=_net_abd_read_write,
+    ),
+    Scenario(
+        "net/consensus_n4",
+        "E1N (reduced): networked consensus n=4, one seed",
+        quick=True,
+        fn=_experiment(experiments.run_e1_net, ns=(4,), seeds=(0,)),
     ),
     Scenario(
         "experiments/e4_fastpath",

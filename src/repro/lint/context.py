@@ -14,6 +14,7 @@ Directive syntax (all as comments, anywhere on the relevant line)::
     # repro-lint: disable=all             everything on this line
     # repro-lint: disable-file=TMF002     suppress code(s) in whole file
     # repro-lint: registers-only          declare module registers-only
+    # repro-lint: messages-only           declare module messages-only
     # repro-lint: single-writer           annotate a register creation
 
 Prose may follow a bare directive after two or more spaces or an em
@@ -100,6 +101,20 @@ class ModuleContext:
     def registers_only(self) -> bool:
         """True when the module declares itself registers-only."""
         return any(d.name == "registers-only" for d in self.directives)
+
+    @property
+    def messages_only(self) -> bool:
+        """True when the module declares itself messages-only.
+
+        Messages-only modules (the :mod:`repro.net` substrate) speak raw
+        ``send``/``recv``/``broadcast`` and must not create or own shared
+        registers — the converse of ``registers-only``.
+        """
+        return any(d.name == "messages-only" for d in self.directives)
+
+    def directive_lines(self, name: str) -> List[int]:
+        """Lines carrying the named directive, in file order."""
+        return [d.line for d in self.directives if d.name == name]
 
     @property
     def single_writer_lines(self) -> Set[int]:

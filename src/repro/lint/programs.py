@@ -41,11 +41,33 @@ __all__ = [
     "OP_HELPERS",
     "OP_CLASSES",
     "RMW_NAMES",
+    "MESSAGE_HELPERS",
+    "MESSAGE_CLASSES",
+    "MESSAGE_NAMES",
     "ProgramInfo",
     "find_programs",
     "terminal_name",
     "is_op_expression",
 ]
+
+#: Message-op constructor helpers from :mod:`repro.sim.ops` (the
+#: :mod:`repro.net` substrate's vocabulary; TMF002 polices where they
+#: may appear).
+MESSAGE_HELPERS: Set[str] = {
+    "send",
+    "recv",
+    "broadcast",
+}
+
+#: The raw message Op dataclasses.
+MESSAGE_CLASSES: Set[str] = {
+    "Send",
+    "Recv",
+    "Broadcast",
+}
+
+#: Every message-primitive name, helper or class.
+MESSAGE_NAMES: Set[str] = MESSAGE_HELPERS | MESSAGE_CLASSES
 
 #: Lower-case op constructor helpers from :mod:`repro.sim.ops` (plus the
 #: ``Register.read`` / ``Register.write`` handle methods, matched by the
@@ -59,7 +81,7 @@ OP_HELPERS: Set[str] = {
     "compare_and_swap",
     "fetch_and_add",
     "get_and_set",
-}
+} | MESSAGE_HELPERS
 
 #: The raw Op dataclasses, accepted when constructed directly.
 OP_CLASSES: Set[str] = {
@@ -69,7 +91,7 @@ OP_CLASSES: Set[str] = {
     "LocalWork",
     "Label",
     "ReadModifyWrite",
-}
+} | MESSAGE_CLASSES
 
 #: Names whose presence TMF002 flags in registers-only modules.
 RMW_NAMES: Set[str] = {

@@ -1,4 +1,4 @@
-"""TMF002 — no read-modify-write primitives in registers-only modules.
+"""TMF002 — substrate discipline: registers-only vs messages-only.
 
 The paper's headline results (Theorems 2.1–3.3) are proved from *atomic
 read/write registers alone*; stronger primitives are explicitly deferred
@@ -6,24 +6,69 @@ to the Discussion section and live in :mod:`repro.algorithms.rmw`.  A
 ``compare_and_swap`` smuggled into Algorithm 1 would still pass every
 behavioural test while silently changing what the reproduction claims.
 
-Modules opt in by declaring ``# repro-lint: registers-only`` (the
-declaration is itself part of the reproduction's statement of
-assumptions); this rule then flags any reference to
-:data:`~repro.lint.programs.RMW_NAMES` — as a call, an import or a bare
-name — anywhere in the module.
+Modules state their substrate with a directive (the declaration is
+itself part of the reproduction's statement of assumptions):
+
+* ``# repro-lint: registers-only`` — the shared-memory model.  The rule
+  flags any reference to :data:`~repro.lint.programs.RMW_NAMES` (as a
+  call, an import or a bare name) **and** any use of the message
+  primitives (``ops.send``/``ops.recv``/``ops.broadcast``, the
+  ``Send``/``Recv``/``Broadcast`` classes, or their imports from the ops
+  module) — a registers-only algorithm that quietly talks to the network
+  is no longer running in the model its theorems assume.
+* ``# repro-lint: messages-only`` — the :mod:`repro.net` substrate.  The
+  rule flags RMW references just the same, plus anything that *creates*
+  register machinery: calls to ``register``/``array`` constructors and
+  (non-``TYPE_CHECKING``) imports of ``Register``/``Array``/
+  ``RegisterNamespace``.  Plain attribute access such as ``op.register``
+  stays legal — the quorum emulation must inspect intercepted register
+  ops without ever owning a register.
+
+Declaring both directives in one module is itself a finding: a module
+cannot claim both substrates at once.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, Set
 
 from ..context import ModuleContext
 from ..findings import Finding, Severity
-from ..programs import RMW_NAMES, terminal_name
+from ..programs import (
+    MESSAGE_CLASSES,
+    MESSAGE_HELPERS,
+    RMW_NAMES,
+    terminal_name,
+)
 from ..registry import Rule, register
 
 __all__ = ["PrimitiveDisciplineRule"]
+
+#: Callables that create register machinery (module helpers, namespace
+#: methods and the raw classes share these names).
+_REGISTER_CREATORS = {"register", "array", "Register", "Array", "RegisterNamespace"}
+
+#: Import sources that make a lowercase ``send``/``recv``/``broadcast``
+#: unambiguously the message helpers (vs. e.g. a socket wrapper).
+_OPS_MODULE_PARTS = {"ops", "sim"}
+
+
+def _from_ops_module(node: ast.ImportFrom) -> bool:
+    parts = set((node.module or "").split("."))
+    return bool(parts & _OPS_MODULE_PARTS)
+
+
+def _type_checking_import_lines(tree: ast.Module) -> Set[int]:
+    """Lines of imports guarded by ``if TYPE_CHECKING:`` (type-only)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and terminal_name(node.test) == "TYPE_CHECKING":
+            for sub in node.body:
+                for inner in ast.walk(sub):
+                    if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                        lines.add(inner.lineno)
+    return lines
 
 
 @register
@@ -32,25 +77,60 @@ class PrimitiveDisciplineRule(Rule):
     name = "primitive-discipline"
     severity = Severity.ERROR
     description = (
-        "Modules declared `# repro-lint: registers-only` must not reference "
-        "read-modify-write primitives (ReadModifyWrite, compare_and_swap, "
-        "fetch_and_add, get_and_set) — the paper's results assume atomic "
-        "registers alone."
+        "Modules declare their substrate: `# repro-lint: registers-only` "
+        "bans RMW primitives and message ops (the paper's results assume "
+        "atomic registers alone); `# repro-lint: messages-only` bans RMW "
+        "and register creation (the net substrate owns no shared memory)."
     )
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
-        if not ctx.registers_only:
+        if ctx.registers_only and ctx.messages_only:
+            line = max(
+                ctx.directive_lines("registers-only")
+                + ctx.directive_lines("messages-only")
+            )
+            yield self.finding(
+                ctx,
+                line,
+                0,
+                "module declares both `registers-only` and `messages-only`; "
+                "a module runs on exactly one substrate — drop one directive",
+            )
             return
+        if ctx.registers_only:
+            yield from self._check_registers_only(ctx)
+        elif ctx.messages_only:
+            yield from self._check_messages_only(ctx)
+
+    # -- registers-only: no RMW, no message primitives ----------------------
+
+    def _check_registers_only(self, ctx: ModuleContext) -> Iterable[Finding]:
+        message_imports: Set[str] = set()
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 for alias in node.names:
-                    if alias.name.split(".")[-1] in RMW_NAMES:
+                    leaf = alias.name.split(".")[-1]
+                    if leaf in RMW_NAMES:
                         yield self.finding(
                             ctx,
                             node.lineno,
                             node.col_offset,
                             f"registers-only module imports RMW primitive "
                             f"{alias.name!r}",
+                        )
+                    elif leaf in MESSAGE_CLASSES or (
+                        leaf in MESSAGE_HELPERS
+                        and isinstance(node, ast.ImportFrom)
+                        and _from_ops_module(node)
+                    ):
+                        message_imports.add(alias.asname or leaf)
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"registers-only module imports message primitive "
+                            f"{alias.name!r}; shared-memory algorithms must "
+                            "not touch the network substrate",
                         )
             elif isinstance(node, (ast.Name, ast.Attribute)):
                 name = terminal_name(node)
@@ -62,4 +142,89 @@ class PrimitiveDisciplineRule(Rule):
                         f"registers-only module references RMW primitive "
                         f"{name!r}; the paper's model here is atomic "
                         "read/write registers only",
+                    )
+                elif name in MESSAGE_CLASSES:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"registers-only module references message op class "
+                        f"{name!r}",
+                    )
+            elif isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name in MESSAGE_HELPERS and self._is_message_call(
+                    node, message_imports
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"registers-only module calls message helper "
+                        f"{name!r}; shared-memory algorithms must not "
+                        "touch the network substrate",
+                    )
+
+    @staticmethod
+    def _is_message_call(node: ast.Call, message_imports: Set[str]) -> bool:
+        """Is this call unambiguously a message-op construction?
+
+        ``ops.send(...)`` and a ``send`` imported from the ops module
+        count; ``transport.send(...)`` or a generator's ``.send()`` do
+        not — method calls named ``send`` are everywhere in Python.
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in message_imports
+        if isinstance(func, ast.Attribute):
+            return terminal_name(func.value) == "ops"
+        return False
+
+    # -- messages-only: no RMW, no register creation ------------------------
+
+    def _check_messages_only(self, ctx: ModuleContext) -> Iterable[Finding]:
+        type_only = _type_checking_import_lines(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if node.lineno in type_only:
+                    continue  # type-only imports create nothing at runtime
+                for alias in node.names:
+                    leaf = alias.name.split(".")[-1]
+                    if leaf in RMW_NAMES:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"messages-only module imports RMW primitive "
+                            f"{alias.name!r}",
+                        )
+                    elif leaf in {"Register", "Array", "RegisterNamespace"}:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"messages-only module imports register machinery "
+                            f"{alias.name!r}; the net substrate owns no "
+                            "shared memory (emulate it over messages instead)",
+                        )
+            elif isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name in _REGISTER_CREATORS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"messages-only module creates register machinery via "
+                        f"{name!r}(...); the net substrate owns no shared "
+                        "memory",
+                    )
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                name = terminal_name(node)
+                if name in RMW_NAMES:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"messages-only module references RMW primitive "
+                        f"{name!r}",
                     )

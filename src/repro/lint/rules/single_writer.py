@@ -15,6 +15,12 @@ register, writes may appear in at most one program body in the module;
 a second writing program is reported at its write site.  Reads are
 always free.
 
+In a ``# repro-lint: messages-only`` module (the :mod:`repro.net`
+substrate) no register creation can exist, so any ``single-writer``
+annotation is dead text — it claims an ownership discipline the module
+has nothing to apply it to.  Such dangling annotations are flagged at
+the directive's line.
+
 The analysis is per-module: register names are namespaced per algorithm
 instance (:class:`~repro.sim.registers.RegisterNamespace`), so cross-
 module aliasing cannot occur without also being visible here.
@@ -91,10 +97,22 @@ class SingleWriterRule(Rule):
     description = (
         "Registers annotated `# repro-lint: single-writer` may only be "
         "written by their owning process: array cells indexed by the "
-        "writer's own pid, scalars written from a single program body."
+        "writer's own pid, scalars written from a single program body; in "
+        "messages-only modules every single-writer annotation is dangling."
     )
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.messages_only:
+            for line in sorted(ctx.single_writer_lines):
+                yield self.finding(
+                    ctx,
+                    line,
+                    0,
+                    "dangling `single-writer` annotation in a messages-only "
+                    "module: the net substrate owns no registers, so there "
+                    "is nothing for the annotation to protect",
+                )
+            return
         annotated = _annotated_registers(ctx)
         if not annotated:
             return

@@ -1,0 +1,131 @@
+"""The network-aware engine: the timing-based engine plus a message fabric.
+
+:class:`NetEngine` extends :class:`repro.sim.engine.Engine` with the three
+message operations (:class:`~repro.sim.ops.Send`,
+:class:`~repro.sim.ops.Broadcast`, :class:`~repro.sim.ops.Recv`).
+Everything else — registers, delays, labels, crashes, tie-breaking,
+run limits, determinism — is inherited unchanged, so programs may freely
+mix shared-memory steps and messages (the :mod:`repro.mp` layer does the
+former-from-the-latter; :mod:`repro.net.quorum` does the converse).
+
+Timing: a ``Send``/``Broadcast`` costs ``send_cost`` local time (handing
+the message to the network is a local action; the *delivery* delay is the
+transport's job), a ``Recv`` costs ``recv_cost``.  Both must be positive
+— a zero cost would let a polling loop livelock the discrete-event loop,
+the same reason shared steps must take positive time.
+
+A crashed process's queued messages stay undelivered on the transport
+(its in-flight ``Recv`` is discarded by the base engine's stale-event
+check), so a crash really does silence an endpoint mid-conversation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional
+
+from ..sim.engine import Engine, RunResult
+from ..sim.failures import CrashSchedule, MemoryFault
+from ..sim.instrument import EngineProbe
+from ..sim.ops import Broadcast, Op, Recv, Send
+from ..sim.process import Process
+from ..sim.registers import Memory
+from ..sim.scheduler import TieBreak
+from ..sim.timing import TimingModel
+from ..sim.trace import EventKind
+from .transport import Transport
+
+__all__ = ["NetEngine"]
+
+
+class NetEngine(Engine):
+    """Discrete-event executor for programs that also pass messages.
+
+    Parameters (beyond :class:`~repro.sim.engine.Engine`'s)
+    ----------
+    transport:
+        The :class:`~repro.net.transport.Transport` carrying this run's
+        messages.  One transport per engine — its RNG and queues are
+        consumed by the run.
+    send_cost / recv_cost:
+        Local duration of handing a message to (collecting messages
+        from) the network.  Default: ``bound / 20`` of the transport —
+        small against the delivery bound, but positive.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        timing: TimingModel,
+        transport: Transport,
+        send_cost: Optional[float] = None,
+        recv_cost: Optional[float] = None,
+        tie_break: Optional[TieBreak] = None,
+        crashes: Optional[CrashSchedule] = None,
+        max_time: float = math.inf,
+        max_total_steps: float = math.inf,
+        memory: Optional[Memory] = None,
+        faults: Optional[List[MemoryFault]] = None,
+        probe: Optional[EngineProbe] = None,
+    ) -> None:
+        super().__init__(
+            delta,
+            timing,
+            tie_break=tie_break,
+            crashes=crashes,
+            max_time=max_time,
+            max_total_steps=max_total_steps,
+            memory=memory,
+            faults=faults,
+            probe=probe,
+        )
+        self.transport = transport
+        self.send_cost = send_cost if send_cost is not None else transport.bound / 20.0
+        self.recv_cost = recv_cost if recv_cost is not None else transport.bound / 20.0
+        if self.send_cost <= 0 or self.recv_cost <= 0:
+            raise ValueError(
+                f"send/recv costs must be positive, got "
+                f"{self.send_cost}/{self.recv_cost} (zero would livelock "
+                f"polling loops)"
+            )
+
+    def _duration_of(self, proc: Process, op: Op, now: float) -> float:
+        if isinstance(op, (Send, Broadcast)):
+            return self.send_cost
+        if isinstance(op, Recv):
+            return self.recv_cost
+        return super()._duration_of(proc, op, now)
+
+    def _complete(self, proc: Process, op: Optional[Op], issued: float, now: float) -> None:
+        if isinstance(op, Send):
+            self.transport.send(proc.pid, op.dest, op.payload, now)
+            self._record(proc, EventKind.SEND, op.dest, op.payload, issued, now)
+            proc.total_ops += 1
+            self._resume(proc, None, now)
+            return
+        if isinstance(op, Broadcast):
+            dests = op.dests if op.dests is not None else self.transport.peers(proc.pid)
+            for dest in dests:
+                self.transport.send(proc.pid, dest, op.payload, now)
+            self._record(proc, EventKind.SEND, tuple(dests), op.payload, issued, now)
+            proc.total_ops += 1
+            self._resume(proc, None, now)
+            return
+        if isinstance(op, Recv):
+            messages = self.transport.collect(proc.pid, now)
+            self._record(proc, EventKind.RECV, None, messages, issued, now)
+            proc.total_ops += 1
+            self._resume(proc, messages, now)
+            return
+        super()._complete(proc, op, issued, now)
+
+    def run(self) -> RunResult:
+        result = super().run()
+        probe = self._probe
+        if probe is not None:
+            stats = self.transport.stats
+            probe.messages_sent += stats.messages_sent
+            probe.messages_delivered += stats.messages_delivered
+            probe.messages_dropped += stats.messages_dropped
+            probe.quorum_rtts += stats.quorum_rtts
+        return result

@@ -1,0 +1,183 @@
+"""Network fault plans — the message-passing mirror of :mod:`repro.sim.failures`.
+
+The shared-memory model has one failure vocabulary: a *timing failure* is
+a shared step exceeding ``Δ``, a *crash* silences a process forever.  The
+networked model (paper §4, Discussion) translates both and adds the
+failure modes registers cannot exhibit:
+
+* :class:`DelaySpike` — deliveries exceed the link's delivery bound for a
+  window.  This is the networked timing failure: the bound plays the role
+  of ``Δ``, and a spike is exactly a window of steps that take longer
+  than the known bound (cf. ``TimingFailureWindow``).
+* :class:`MessageLoss` — messages silently vanish with some probability.
+* :class:`Partition` — groups of processes that cannot reach each other
+  for a window; cross-group messages are dropped.
+* Crashes reuse :class:`repro.sim.failures.CrashSchedule` unchanged — a
+  crashed process neither sends nor collects.
+
+Like ``sim.failures``, everything here is immutable data.  The
+:class:`repro.net.transport.Transport` consults the plan at each send;
+the plan itself holds no state, so one plan can parameterize many runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["MessageLoss", "DelaySpike", "Partition", "NetFaultPlan"]
+
+
+def _window_ok(start: float, end: float) -> None:
+    if start < 0:
+        raise ValueError(f"window start must be >= 0, got {start}")
+    if end <= start:
+        raise ValueError(f"window must have end > start, got [{start}, {end})")
+
+
+def _touches(pids: Optional[Tuple[int, ...]], src: int, dst: int) -> bool:
+    return pids is None or src in pids or dst in pids
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Drop each affected message with probability ``rate`` during a window.
+
+    ``pids=None`` affects every link; otherwise a link is affected when
+    either endpoint is listed.  The drop decision is drawn from the
+    transport's seeded RNG, so a given seed loses the same messages on
+    every run.
+    """
+
+    rate: float
+    start: float = 0.0
+    end: float = math.inf
+    pids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {self.rate}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"loss window must have end > start, got [{self.start}, {self.end})"
+            )
+
+    def affects(self, src: int, dst: int, now: float) -> bool:
+        return self.start <= now < self.end and _touches(self.pids, src, dst)
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Stretch deliveries past the bound for a window — a net timing failure.
+
+    An affected message's nominal delay becomes
+    ``nominal * stretch + extra``; with ``stretch > 1`` or ``extra > 0``
+    the delivery may exceed the link's bound, which is precisely the
+    networked analogue of a shared step exceeding ``Δ``.
+    """
+
+    start: float
+    end: float
+    stretch: float = 1.0
+    extra: float = 0.0
+    pids: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        _window_ok(self.start, self.end)
+        if self.stretch < 1.0:
+            raise ValueError(f"stretch must be >= 1, got {self.stretch}")
+        if self.extra < 0.0:
+            raise ValueError(f"extra must be >= 0, got {self.extra}")
+
+    def affects(self, src: int, dst: int, now: float) -> bool:
+        return self.start <= now < self.end and _touches(self.pids, src, dst)
+
+    def apply(self, nominal: float) -> float:
+        return nominal * self.stretch + self.extra
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Sever links between groups for a window; the partition then heals.
+
+    ``groups`` are disjoint sets of pids; a message is dropped when its
+    endpoints sit in *different* groups while the window is open.  Pids
+    listed in no group are unrestricted (they can reach everyone) — list
+    every pid when full isolation is intended.
+    """
+
+    start: float
+    end: float
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        _window_ok(self.start, self.end)
+        seen = set()
+        for group in self.groups:
+            for pid in group:
+                if pid in seen:
+                    raise ValueError(f"pid {pid} appears in two partition groups")
+                seen.add(pid)
+
+    def _group_of(self, pid: int) -> Optional[int]:
+        for index, group in enumerate(self.groups):
+            if pid in group:
+                return index
+        return None
+
+    def severs(self, src: int, dst: int, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        src_group = self._group_of(src)
+        dst_group = self._group_of(dst)
+        return src_group is not None and dst_group is not None and src_group != dst_group
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """The full fault environment of one networked run.
+
+    The transport asks two questions per send: :meth:`drops` (partition
+    or loss kills the message outright) and :meth:`delivery_delay` (delay
+    spikes stretch the nominal delay, possibly past the bound).
+    """
+
+    losses: Tuple[MessageLoss, ...] = ()
+    spikes: Tuple[DelaySpike, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+
+    @classmethod
+    def none(cls) -> "NetFaultPlan":
+        return cls()
+
+    def drops(self, src: int, dst: int, now: float, rng) -> bool:
+        """Whether a message sent now on (src, dst) is lost."""
+        for partition in self.partitions:
+            if partition.severs(src, dst, now):
+                return True
+        for loss in self.losses:
+            if loss.affects(src, dst, now) and rng.random() < loss.rate:
+                return True
+        return False
+
+    def delivery_delay(self, src: int, dst: int, now: float, nominal: float) -> float:
+        """The nominal delay after every active spike has stretched it."""
+        delay = nominal
+        for spike in self.spikes:
+            if spike.affects(src, dst, now):
+                delay = spike.apply(delay)
+        return delay
+
+    @property
+    def last_disruption_end(self) -> float:
+        """When the last finite fault window closes (0.0 when none do).
+
+        This is where the resilience definition's convergence clock starts:
+        "a finite number of time units after all timing failures stop".
+        Windows open forever (``end=inf``) are excluded — convergence is
+        only promised once disruptions actually cease.
+        """
+        ends = [w.end for w in (*self.losses, *self.spikes, *self.partitions)]
+        finite = [e for e in ends if math.isfinite(e)]
+        return max(finite) if finite else 0.0

@@ -1,0 +1,319 @@
+"""ABD-style atomic registers emulated over crash-prone messages.
+
+The converse of :mod:`repro.mp` (which builds channels *from* registers):
+following Attiya–Bar-Noy–Dolev and Mostéfaoui–Raynal's time-efficient
+formulation, a :class:`QuorumSystem` builds atomic read/write registers
+*from* unreliable messages, so every register-only algorithm in this repo
+— Algorithm 1 consensus, Fischer, Algorithm 3 mutex — runs over a
+network without source changes.
+
+Roles: ``clients`` (pids ``0..c-1``) run the algorithm programs;
+``replicas`` (pids ``c..c+r-1``) each hold a timestamped copy of every
+register.  Each value carries a timestamp ``(number, writer_pid)``,
+ordered lexicographically, so concurrent writers are totally ordered.
+
+* **write**: query a majority for the highest timestamp, then store the
+  value under a strictly larger timestamp at a majority (majority-ack).
+* **read**: query a majority, pick the timestamped maximum, then *write
+  it back* to a majority before returning (read-repair) — without the
+  write-back two sequential reads could see new-then-old, breaking
+  atomicity.
+
+Any two majorities intersect, so a write's timestamp is visible to every
+later operation even when a *minority* of replicas has crashed — the
+crash-minority assumption; lose a majority and operations block until a
+partition heals (they never return wrong values).
+
+The facade :meth:`QuorumSystem.emulate_registers` makes the emulation
+invisible: it wraps a register-level program, intercepts its ``Read`` /
+``Write`` ops and replaces each with the corresponding quorum phases,
+passing delays, local work and labels straight through.
+"""
+
+# repro-lint: messages-only — this module IS the register emulation; it
+# speaks raw Send/Recv and must never create real registers itself.
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Optional, Sequence, Tuple
+
+from ..sim import ops
+from ..sim.engine import RunResult
+from ..sim.failures import CrashSchedule
+from ..sim.process import Program
+from ..sim.scheduler import TieBreak
+from ..sim.timing import ConstantTiming, TimingModel
+from . import resilience
+from .engine import NetEngine
+from .faults import NetFaultPlan
+from .transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..sim.registers import Register
+
+__all__ = ["QuorumSystem", "ZERO_TS"]
+
+# Timestamp every replica starts from; strictly below any write's
+# timestamp because writer pids are >= 0.
+ZERO_TS: Tuple[int, int] = (0, -1)
+
+# Message kinds (first element of every payload tuple).
+_QUERY = "qr"
+_QUERY_ACK = "qr-ack"
+_UPDATE = "qw"
+_UPDATE_ACK = "qw-ack"
+_BYE = "bye"
+
+
+class QuorumSystem:
+    """A crash-prone message network emulating atomic registers.
+
+    Parameters
+    ----------
+    clients:
+        How many algorithm processes will run (pids ``0..clients-1``).
+    replicas:
+        How many register servers back the emulation; a minority of them
+        may crash without affecting any client.
+    bound:
+        The per-link delivery bound (the networked ``Δ``); message
+        handling costs and polling granularity are derived from it via
+        :func:`repro.net.resilience.default_costs`.
+    seed:
+        Seeds the transport (delivery delays and loss draws).
+    faults / crashes:
+        The run's :class:`NetFaultPlan` and
+        :class:`~repro.sim.failures.CrashSchedule` (crash *replica* pids
+        for the crash-minority experiments, client pids to exercise
+        pending operations).
+    max_time:
+        Engine run limit; also the replicas' default service lifetime —
+        replicas retire early once every client has said goodbye, so
+        well-behaved runs end long before this.
+    """
+
+    def __init__(
+        self,
+        clients: int,
+        replicas: int = 3,
+        bound: float = 1.0,
+        seed: Any = 0,
+        faults: Optional[NetFaultPlan] = None,
+        crashes: Optional[CrashSchedule] = None,
+        timing: Optional[TimingModel] = None,
+        delta: Optional[float] = None,
+        max_time: float = 2_000.0,
+        lifetime: Optional[float] = None,
+        tie_break: Optional[TieBreak] = None,
+    ) -> None:
+        if clients < 1:
+            raise ValueError(f"need at least one client, got {clients}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.clients = clients
+        self.replicas = replicas
+        self.majority = replicas // 2 + 1
+        self.bound = float(bound)
+        costs = resilience.default_costs(self.bound)
+        self.send_cost = costs["send_cost"]
+        self.recv_cost = costs["recv_cost"]
+        self.poll = costs["poll"]
+        # After this many empty polls (~2.5 bounds) assume the request or
+        # its acks were lost and retransmit.
+        self.retry_polls = 10
+        self.client_pids: Tuple[int, ...] = tuple(range(clients))
+        self.replica_pids: Tuple[int, ...] = tuple(range(clients, clients + replicas))
+        self.faults = faults if faults is not None else NetFaultPlan.none()
+        self.crashes = crashes
+        self.transport = Transport(
+            clients + replicas, bound=self.bound, seed=seed, faults=self.faults
+        )
+        self.timing = timing if timing is not None else ConstantTiming(self.send_cost)
+        self.delta = delta if delta is not None else resilience.delta_net(self)
+        self.max_time = max_time
+        self.lifetime = max_time if lifetime is None else lifetime
+        self.tie_break = tie_break
+        self._req_ids = itertools.count(1)
+        self._ran = False
+        # Final replica stores, recorded as each replica retires (absent for
+        # replicas that crashed or were cut off by the run limit).
+        self.replica_stores: Dict[int, Dict[Hashable, Tuple[Tuple[int, int], Any]]] = {}
+
+    # -- client-side quorum phases (yield-from these) -----------------------
+
+    def read(self, pid: int, register: "Register") -> Program:
+        """Emulated atomic read: query a majority, repair, return the max."""
+        ts, value = yield from self._query(pid, register.name, register.initial)
+        yield from self._update(pid, register.name, ts, value)  # read-repair
+        return value
+
+    def write(self, pid: int, register: "Register", value: Any) -> Program:
+        """Emulated atomic write: outdo the majority-max timestamp."""
+        (number, _), _ = yield from self._query(pid, register.name, register.initial)
+        yield from self._update(pid, register.name, (number + 1, pid), value)
+        return None
+
+    def _query(self, pid: int, name: Hashable, initial: Any) -> Program:
+        """Phase 1: collect (timestamp, value) from a majority of replicas."""
+        req = next(self._req_ids)
+        request = (_QUERY, req, name, initial)
+        acks: Dict[int, Tuple[Tuple[int, int], Any]] = {}
+        yield ops.broadcast(request, dests=self.replica_pids)
+        polls = 0
+        while len(acks) < self.majority:
+            for src, message in (yield ops.recv()):
+                if message[0] == _QUERY_ACK and message[1] == req:
+                    acks[src] = (message[2], message[3])
+            if len(acks) < self.majority:
+                yield ops.delay(self.poll)
+                polls += 1
+                if polls % self.retry_polls == 0:
+                    # Fair-lossy links: retransmit until a majority answers
+                    # (replicas answer duplicates idempotently).
+                    yield ops.broadcast(request, dests=self.replica_pids)
+        self.transport.stats.quorum_rtts += 1
+        return max(acks.values(), key=lambda pair: pair[0])
+
+    def _update(self, pid: int, name: Hashable, ts: Tuple[int, int], value: Any) -> Program:
+        """Phase 2: store (ts, value) at a majority of replicas."""
+        req = next(self._req_ids)
+        request = (_UPDATE, req, name, ts, value)
+        acked: set = set()
+        yield ops.broadcast(request, dests=self.replica_pids)
+        polls = 0
+        while len(acked) < self.majority:
+            for src, message in (yield ops.recv()):
+                if message[0] == _UPDATE_ACK and message[1] == req:
+                    acked.add(src)
+            if len(acked) < self.majority:
+                yield ops.delay(self.poll)
+                polls += 1
+                if polls % self.retry_polls == 0:
+                    yield ops.broadcast(request, dests=self.replica_pids)
+        self.transport.stats.quorum_rtts += 1
+
+    # -- the RegisterNamespace-compatible facade ----------------------------
+
+    def emulate_registers(self, pid: int, program: Program) -> Program:
+        """Run a register-level program over the quorum, unchanged.
+
+        Intercepts the wrapped program's ``Read``/``Write`` ops and
+        replaces each with the corresponding quorum phases; ``Delay``,
+        ``LocalWork`` and ``Label`` ops pass straight through, so
+        Algorithm 1/3 and Fischer — and their trace-reading checkers —
+        work as on shared memory.  Read-modify-write ops are rejected:
+        the ABD emulation implements atomic read/write registers only,
+        exactly the primitive set the paper's theorems assume.
+        """
+
+        def emulated() -> Program:
+            send_value: Any = None
+            while True:
+                try:
+                    op = program.send(send_value)
+                except StopIteration as stop:
+                    # Retire the replicas this client no longer needs.
+                    yield ops.broadcast((_BYE, pid), dests=self.replica_pids)
+                    return stop.value
+                if isinstance(op, ops.Read):
+                    send_value = yield from self.read(pid, op.register)
+                elif isinstance(op, ops.Write):
+                    send_value = yield from self.write(pid, op.register, op.value)
+                elif op.is_shared:
+                    raise TypeError(
+                        f"quorum emulation supports atomic read/write "
+                        f"registers only, got {op!r}"
+                    )
+                else:
+                    # Pass-through of the wrapped program's non-shared op.
+                    send_value = yield op  # repro-lint: disable=TMF001 — op came from the wrapped program, already validated above
+
+        return emulated()
+
+    # -- replica ------------------------------------------------------------
+
+    def replica(self, pid: int) -> Program:
+        """One register server: answer queries/updates until clients retire.
+
+        The store maps register name to ``(timestamp, value)``; an update
+        is applied only when its timestamp is strictly larger (acks are
+        sent either way — the quorum intersection argument needs the ack,
+        not the overwrite).  The loop tracks its own virtual elapsed time
+        from the known op costs — a conservative undercount, so a replica
+        never retires before ``lifetime`` even if clients crashed without
+        saying goodbye.
+
+        Returns ``None`` (a replica is not a decider — the consensus spec
+        reads non-``None`` returns as decisions); the final store lands in
+        :attr:`replica_stores` instead.
+        """
+        store: Dict[Hashable, Tuple[Tuple[int, int], Any]] = {}
+        byes: set = set()
+        elapsed = 0.0
+        while len(byes) < self.clients and elapsed < self.lifetime:
+            messages = yield ops.recv()
+            elapsed += self.recv_cost
+            for src, message in messages:
+                kind = message[0]
+                if kind == _QUERY:
+                    _, req, name, initial = message
+                    ts, value = store.get(name, (ZERO_TS, initial))
+                    yield ops.send(src, (_QUERY_ACK, req, ts, value))
+                    elapsed += self.send_cost
+                elif kind == _UPDATE:
+                    _, req, name, ts, value = message
+                    current = store.get(name)
+                    if current is None or ts > current[0]:
+                        store[name] = (ts, value)
+                    yield ops.send(src, (_UPDATE_ACK, req))
+                    elapsed += self.send_cost
+                elif kind == _BYE:
+                    byes.add(message[1])
+            if len(byes) < self.clients:
+                yield ops.delay(self.poll)
+                elapsed += self.poll
+        self.replica_stores[pid] = store  # repro-lint: disable=TMF003 — test-facing bookkeeping, not model state: the emulation's observable behaviour flows only through messages
+        return None
+
+    # -- running ------------------------------------------------------------
+
+    def build_engine(self, client_programs: Sequence[Program]) -> NetEngine:
+        """Spawn wrapped clients and replicas on a fresh :class:`NetEngine`."""
+        if self._ran:
+            raise RuntimeError(
+                "QuorumSystem already ran — its transport is consumed; build "
+                "a new system"
+            )
+        if len(client_programs) != self.clients:
+            raise ValueError(
+                f"expected {self.clients} client programs, got {len(client_programs)}"
+            )
+        self._ran = True
+        engine = NetEngine(
+            delta=self.delta,
+            timing=self.timing,
+            transport=self.transport,
+            send_cost=self.send_cost,
+            recv_cost=self.recv_cost,
+            tie_break=self.tie_break,
+            crashes=self.crashes,
+            max_time=self.max_time,
+        )
+        for pid, program in zip(self.client_pids, client_programs):
+            engine.spawn(
+                self.emulate_registers(pid, program), pid=pid, name=f"client{pid}"
+            )
+        for pid in self.replica_pids:
+            engine.spawn(self.replica(pid), pid=pid, name=f"replica{pid}")
+        return engine
+
+    def run(self, client_programs: Sequence[Program]) -> RunResult:
+        """Build the engine, run it, and return the result."""
+        return self.build_engine(client_programs).run()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuorumSystem(clients={self.clients}, replicas={self.replicas}, "
+            f"bound={self.bound}, majority={self.majority})"
+        )

@@ -1,0 +1,133 @@
+"""The resilience bridge: mapping the paper's ``Δ`` onto the network.
+
+In the shared-memory model every result is stated in multiples of ``Δ``,
+the known bound on one shared step (decision within ``15·Δ``, doorway in
+``O(Δ)``, convergence a finite number of time units after failures
+stop).  On the networked substrate a "shared step" is an *emulated*
+quorum operation — two majority phases of messages — so the unit the
+theorems should be read in is the worst-case duration of one emulated
+operation, which this module computes as :func:`emulated_op_bound`
+(``Δ_net``).
+
+The mapping is deliberately conservative, not tight: each phase is
+bounded by the client handing the request to the network, the delivery
+bound, the replica's polling granularity and serial service of every
+concurrent client, the ack's delivery, and the client's own polling
+granularity.  Experiments (networked E1/E8) then check the *empirical*
+figures sit within a small constant of ``Δ_net`` — the same shape the
+paper's ``c·Δ`` statements take.
+
+Convergence works exactly as in the shared-memory model: after the last
+fault window closes (:func:`convergence_start`), deliveries respect the
+bound again and the resilience theorems' clocks start ticking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from ..sim.failures import CrashSchedule
+from .faults import NetFaultPlan
+
+__all__ = [
+    "default_costs",
+    "emulated_op_bound",
+    "delta_net",
+    "bound_for_delta",
+    "convergence_start",
+]
+
+# Local message-handling costs as fractions of the delivery bound.  The
+# quorum system derives its costs from these same factors, so the bound
+# formula and the running system cannot drift apart.
+SEND_COST_FACTOR = 0.05
+RECV_COST_FACTOR = 0.05
+POLL_FACTOR = 0.25
+
+
+def default_costs(bound: float) -> Dict[str, float]:
+    """The send/recv/poll costs a quorum system derives from its bound."""
+    if bound <= 0:
+        raise ValueError(f"delivery bound must be positive, got {bound}")
+    return {
+        "send_cost": bound * SEND_COST_FACTOR,
+        "recv_cost": bound * RECV_COST_FACTOR,
+        "poll": bound * POLL_FACTOR,
+    }
+
+
+def emulated_op_bound(
+    bound: float,
+    clients: int = 1,
+    send_cost: Optional[float] = None,
+    recv_cost: Optional[float] = None,
+    poll: Optional[float] = None,
+) -> float:
+    """``Δ_net``: worst-case duration of one emulated register operation.
+
+    One ABD operation is two phases; one fault-free phase is bounded by
+
+    * ``send_cost`` — the client hands the broadcast to the network;
+    * ``bound`` — the slowest request delivery;
+    * ``wake`` — the replica finishes its current service burst (up to
+      one ack per concurrent client), polls, and collects;
+    * ``clients·send_cost`` — our ack leaves after the burst ahead of it;
+    * ``bound`` — the ack's delivery;
+    * ``wake`` — the client's own poll-and-collect latency.
+    """
+    if clients < 1:
+        raise ValueError(f"need at least one client, got {clients}")
+    costs = default_costs(bound)
+    send = costs["send_cost"] if send_cost is None else send_cost
+    recv = costs["recv_cost"] if recv_cost is None else recv_cost
+    poll_gap = costs["poll"] if poll is None else poll
+    wake = clients * send + poll_gap + recv
+    phase = send + bound + wake + clients * send + bound + wake
+    return 2.0 * phase
+
+
+def delta_net(system) -> float:
+    """``Δ_net`` of a built :class:`~repro.net.quorum.QuorumSystem`."""
+    return emulated_op_bound(
+        system.bound,
+        clients=system.clients,
+        send_cost=system.send_cost,
+        recv_cost=system.recv_cost,
+        poll=system.poll,
+    )
+
+
+def bound_for_delta(delta: float, clients: int = 1) -> float:
+    """The delivery bound whose ``Δ_net`` equals ``delta``.
+
+    Inverse of :func:`emulated_op_bound` under the default cost factors
+    (all costs scale linearly with the bound, so ``Δ_net`` does too).
+    Use it to re-run a shared-memory experiment "at the same Δ" on the
+    networked substrate.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    return delta / emulated_op_bound(1.0, clients=clients)
+
+
+def convergence_start(
+    faults: NetFaultPlan,
+    crashes: Optional[CrashSchedule] = None,
+    pids: Iterable[int] = (),
+) -> float:
+    """When the networked resilience clock starts.
+
+    The paper promises convergence "a finite number of time units after
+    all timing failures stop"; on the network that is the later of the
+    last fault window's close and the last scheduled crash (a crash is
+    instantaneous, but the survivors only start converging once it has
+    happened).  Time-0 when nothing disruptive is scheduled.
+    """
+    start = faults.last_disruption_end
+    if crashes is not None:
+        for pid in pids:
+            crash_time = crashes.crash_time(pid)
+            if math.isfinite(crash_time):
+                start = max(start, crash_time)
+    return start

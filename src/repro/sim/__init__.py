@@ -31,13 +31,17 @@ from .ops import (
     DECIDED,
     ENTRY_START,
     EXIT_DONE,
+    Broadcast,
     Delay,
     Label,
     LocalWork,
     Op,
     Read,
     ReadModifyWrite,
+    Recv,
+    Send,
     Write,
+    broadcast,
     compare_and_swap,
     delay,
     fetch_and_add,
@@ -45,6 +49,8 @@ from .ops import (
     label,
     local_work,
     read,
+    recv,
+    send,
     write,
 )
 from .process import Process, ProcessState, Program
@@ -94,11 +100,17 @@ __all__ = [
     "Delay",
     "LocalWork",
     "Label",
+    "Send",
+    "Broadcast",
+    "Recv",
     "read",
     "write",
     "delay",
     "local_work",
     "label",
+    "send",
+    "broadcast",
+    "recv",
     "ENTRY_START",
     "CS_ENTER",
     "CS_EXIT",

@@ -452,6 +452,12 @@ class Engine:
                     f"local work duration must be >= 0, got {duration}"
                 )
             return duration
+        if isinstance(op, Op) and op.is_message:
+            raise SimulationError(
+                f"process {proc.pid} ({proc.name}) yielded message op {op!r}; "
+                f"message operations need the network-aware engine "
+                f"(repro.net.NetEngine)"
+            )
         raise SimulationError(
             f"process {proc.pid} ({proc.name}) yielded a non-operation: {op!r}"
         )

@@ -55,6 +55,10 @@ class EngineProbe:
         "writes",
         "rmws",
         "registers_touched",
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped",
+        "quorum_rtts",
     )
 
     def __init__(self) -> None:
@@ -71,6 +75,10 @@ class EngineProbe:
         self.writes = 0  # register writes (from Memory)
         self.rmws = 0  # read-modify-writes (from Memory)
         self.registers_touched = 0  # distinct registers, summed over runs
+        self.messages_sent = 0  # messages handed to a net transport
+        self.messages_delivered = 0  # messages collected by a Recv
+        self.messages_dropped = 0  # messages lost to faults (loss/partition)
+        self.quorum_rtts = 0  # completed quorum phases (repro.net.quorum)
 
     def snapshot(self) -> Dict[str, int]:
         """The counters as a plain dict, in declaration order."""

@@ -26,7 +26,7 @@ entry and exit marks).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
+from typing import Any, Callable, Hashable, Iterable, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .registers import Register
@@ -43,6 +43,9 @@ __all__ = [
     "Delay",
     "LocalWork",
     "Label",
+    "Send",
+    "Broadcast",
+    "Recv",
     "ENTRY_START",
     "CS_ENTER",
     "CS_EXIT",
@@ -53,6 +56,9 @@ __all__ = [
     "delay",
     "local_work",
     "label",
+    "send",
+    "broadcast",
+    "recv",
 ]
 
 
@@ -64,6 +70,18 @@ class Op:
     @property
     def is_shared(self) -> bool:
         """True when the operation accesses shared memory (a "step")."""
+        return False
+
+    @property
+    def is_message(self) -> bool:
+        """True when the operation touches the message substrate.
+
+        Message operations are the networked analogue of shared steps:
+        the per-link delivery bound plays the role the paper's ``Δ``
+        plays for shared-memory steps (see :mod:`repro.net`).  Only the
+        network-aware engine (:class:`repro.net.NetEngine`) interprets
+        them; the plain :class:`~repro.sim.engine.Engine` rejects them.
+        """
         return False
 
 
@@ -214,6 +232,76 @@ class Label(Op):
     payload: Optional[Hashable] = None
 
 
+@dataclass(frozen=True)
+class Send(Op):
+    """Hand one message to the network, addressed to process ``dest``.
+
+    The message is *in flight* from the operation's completion instant
+    (its linearization point); the transport then assigns a delivery
+    time within the link's delivery bound — or beyond it during a delay
+    spike (the networked timing failure), or never (loss, partitions).
+    The sender learns nothing about the outcome: ``None`` is sent back.
+    """
+
+    dest: int
+    payload: Any
+
+    __slots__ = ("dest", "payload")
+
+    @property
+    def is_message(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Send(to={self.dest}, {self.payload!r})"
+
+
+@dataclass(frozen=True)
+class Broadcast(Op):
+    """Hand one message per destination to the network.
+
+    ``dests=None`` addresses every other process on the transport.  One
+    broadcast linearizes as a single operation, but each copy travels
+    (and may be dropped or delayed) independently — there is no
+    reliable-broadcast guarantee, matching the crash-prone model.
+    """
+
+    payload: Any
+    dests: Optional[Tuple[int, ...]] = None
+
+    # No __slots__: a defaulted dataclass field stores a class attribute,
+    # which conflicts with same-named slots before Python 3.10 (same
+    # trade-off as Label above).
+
+    @property
+    def is_message(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        to = "all" if self.dests is None else f"{list(self.dests)}"
+        return f"Broadcast(to={to}, {self.payload!r})"
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """Collect every message delivered to this process so far.
+
+    The process receives a list of ``(sender, payload)`` pairs, ordered
+    by delivery time (ties by transport sequence).  Non-blocking: the
+    list is empty when nothing has arrived — receivers poll, exactly
+    like the register-backed mailboxes in :mod:`repro.mp.channels`.
+    """
+
+    __slots__ = ()
+
+    @property
+    def is_message(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Recv()"
+
+
 # Well-known label kinds used by the mutual-exclusion and consensus
 # specification checkers.
 ENTRY_START = "entry_start"
@@ -246,3 +334,18 @@ def local_work(duration: float) -> LocalWork:
 def label(kind: str, payload: Optional[Hashable] = None) -> Label:
     """Convenience constructor for trace annotations."""
     return Label(kind, payload)
+
+
+def send(dest: int, payload: Any) -> Send:
+    """Convenience constructor: ``yield send(pid, msg)``."""
+    return Send(dest, payload)
+
+
+def broadcast(payload: Any, dests: Optional[Iterable[int]] = None) -> Broadcast:
+    """Convenience constructor: ``yield broadcast(msg)`` (to everyone else)."""
+    return Broadcast(payload, None if dests is None else tuple(dests))
+
+
+def recv() -> Recv:
+    """Convenience constructor: ``msgs = yield recv()``."""
+    return Recv()

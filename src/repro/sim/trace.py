@@ -43,6 +43,8 @@ class EventKind:
     CRASH = "crash"
     DONE = "done"
     FAULT = "fault"  # injected memory corruption (MemoryFault)
+    SEND = "send"  # message handed to the network (repro.net)
+    RECV = "recv"  # messages collected from the network (repro.net)
 
 
 @dataclass(frozen=True)

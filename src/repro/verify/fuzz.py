@@ -18,7 +18,10 @@ hammers fresh schedules::
 
 Campaigns: Fischer n=3 (a violation MUST be found), Algorithm 3 n=4 and
 Algorithm 1 n=4 (no violation may exist).  Exit 0 when every expectation
-holds, 1 otherwise.
+holds, 1 otherwise.  ``--substrate net`` fuzzes the networked
+quorum-register emulation instead (see :mod:`repro.net.fuzz`): random
+workloads under rotating fault plans, checked against the atomic-register
+linearizability spec.
 """
 
 from __future__ import annotations
@@ -162,6 +165,24 @@ def _standard_campaigns(seed: int, schedules: int):
     ]
 
 
+def _net_campaign(seed: int, schedules: int) -> int:
+    """Fuzz the networked substrate: quorum registers vs. linearizability.
+
+    Drives :func:`repro.net.fuzz.fuzz_quorum_register` — random client
+    workloads over the ABD emulation under the rotating fault plans
+    (crash-minority, delay spikes, healing partitions, loss, client
+    crashes) — and fails when any schedule's history is not explainable
+    as an atomic register.
+    """
+    from ..net.fuzz import fuzz_quorum_register
+
+    report = fuzz_quorum_register(schedules=schedules, seed=seed)
+    print(report.summary())
+    for outcome in report.violations[:3]:
+        print(f"     {outcome!r}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI driver for the standard fuzzing campaigns (see module doc)."""
     import argparse
@@ -174,7 +195,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="campaign seed (rotate it nightly)")
     parser.add_argument("--schedules", type=int, default=500,
                         help="random schedules per campaign (default: 500)")
+    parser.add_argument("--substrate", choices=("registers", "net"),
+                        default="registers",
+                        help="fuzz shared-memory interleavings (default) or "
+                             "the networked quorum-register emulation")
     args = parser.parse_args(argv)
+
+    if args.substrate == "net":
+        return _net_campaign(args.seed, args.schedules)
 
     failures = 0
     for name, factories, properties, kwargs, expect_violation in (

@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.experiments import (
     ALL_EXPERIMENTS,
+    _experiment_order,
     run_e1,
     run_e4,
     run_e5,
@@ -16,10 +17,11 @@ from repro.analysis.experiments import (
 from repro.analysis.tables import ExperimentTable
 
 
-def test_registry_covers_e1_to_e13():
-    assert sorted(ALL_EXPERIMENTS, key=lambda e: int(e[1:])) == [
-        f"E{i}" for i in range(1, 14)
-    ]
+def test_registry_covers_e1_to_e13_plus_networked():
+    expected = [f"E{i}" for i in range(1, 14)] + ["E1N", "E8N"]
+    assert sorted(ALL_EXPERIMENTS, key=_experiment_order) == sorted(
+        expected, key=_experiment_order
+    )
     assert all(callable(fn) for fn in ALL_EXPERIMENTS.values())
 
 

@@ -1,0 +1,8 @@
+# repro-lint: registers-only  (fixture)
+# repro-lint: messages-only  (fixture: line 2 — a module has one substrate)
+"""Seeded TMF002 violation: both substrate directives at once."""
+
+
+class TornLock:
+    def entry(self, pid):
+        yield self.flag.read()

@@ -1,0 +1,9 @@
+# repro-lint: registers-only  (fixture)
+# repro-lint: messages-only  (fixture: conflicting claim)
+# repro-lint: disable-file=TMF002
+"""TMF002 substrate conflict silenced file-wide."""
+
+
+class TornLock:
+    def entry(self, pid):
+        yield self.flag.read()

@@ -1,0 +1,12 @@
+# repro-lint: messages-only  (fixture: claims the network substrate)
+"""Seeded TMF002 violations: register machinery in a messages-only module."""
+
+from repro.sim.registers import Register  # line 4: banned import
+
+from repro.sim import ops
+
+
+def replica(pid, ns):
+    cell = ns.register("cell", 0)  # line 10: register creation
+    yield ops.send(0, ("ready", pid))
+    yield ops.fetch_and_add(cell, 1)  # line 12: RMW reference

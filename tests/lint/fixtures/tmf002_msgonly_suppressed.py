@@ -1,0 +1,12 @@
+# repro-lint: messages-only  (fixture: claims the network substrate)
+"""TMF002 messages-only violations silenced line by line."""
+
+from repro.sim.registers import Register  # repro-lint: disable=TMF002
+
+from repro.sim import ops
+
+
+def replica(pid, ns):
+    cell = ns.register("cell", 0)  # repro-lint: disable=TMF002
+    yield ops.send(0, ("ready", pid))
+    yield ops.fetch_and_add(cell, 1)  # repro-lint: disable=TMF002

@@ -1,0 +1,12 @@
+# repro-lint: registers-only  (fixture: shared-memory module caught networking)
+"""Seeded TMF002 violations: message primitives in a registers-only module."""
+
+from repro.sim.ops import send  # line 4: banned helper import
+
+from repro.sim import ops
+
+
+def entry(pid):
+    yield ops.broadcast(("hello", pid))  # line 10: message helper call
+    yield send(0, "direct")  # line 11: imported helper call
+    yield ops.Recv()  # line 12: message op class

@@ -1,0 +1,12 @@
+# repro-lint: registers-only  (fixture: shared-memory module caught networking)
+"""TMF002 registers-only message violations silenced line by line."""
+
+from repro.sim.ops import send  # repro-lint: disable=TMF002
+
+from repro.sim import ops
+
+
+def entry(pid):
+    yield ops.broadcast(("hello", pid))  # repro-lint: disable=TMF002
+    yield send(0, "direct")  # repro-lint: disable=TMF002
+    yield ops.Recv()  # repro-lint: disable=TMF002

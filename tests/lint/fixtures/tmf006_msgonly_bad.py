@@ -1,0 +1,11 @@
+# repro-lint: messages-only  (fixture)
+"""Seeded TMF006 violation: dangling single-writer annotation."""
+
+# repro-lint: single-writer — line 4: no registers exist to protect here
+
+from repro.sim import ops
+
+
+def relay(pid):
+    payload = yield ops.recv()
+    yield ops.send(0, payload)

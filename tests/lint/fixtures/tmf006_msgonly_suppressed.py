@@ -1,0 +1,12 @@
+# repro-lint: messages-only  (fixture)
+# repro-lint: disable-file=TMF006
+"""TMF006 dangling annotation silenced file-wide."""
+
+# repro-lint: single-writer — dead annotation, suppressed above
+
+from repro.sim import ops
+
+
+def relay(pid):
+    payload = yield ops.recv()
+    yield ops.send(0, payload)

@@ -37,6 +37,20 @@ EXPECTED = {
         ("TMF002", 9),  # fetch_and_add by name
         ("TMF002", 13),  # ops.compare_and_swap by attribute
     ],
+    "tmf002_msgonly_bad.py": [
+        ("TMF002", 4),  # Register import in a messages-only module
+        ("TMF002", 10),  # ns.register(...) creation
+        ("TMF002", 12),  # RMW reference
+    ],
+    "tmf002_regonly_net_bad.py": [
+        ("TMF002", 4),  # message helper import in a registers-only module
+        ("TMF002", 10),  # ops.broadcast call
+        ("TMF002", 11),  # imported send call
+        ("TMF002", 12),  # Recv class reference
+    ],
+    "tmf002_conflict_bad.py": [
+        ("TMF002", 2),  # both substrate directives at once
+    ],
     "tmf003_bad.py": [
         ("TMF003", 9),  # mutable default argument
         ("TMF003", 11),  # self attribute assignment
@@ -58,6 +72,9 @@ EXPECTED = {
         ("TMF006", 11),  # foreign array cell
         ("TMF006", 12),  # scalar writer body #1
         ("TMF006", 15),  # scalar writer body #2
+    ],
+    "tmf006_msgonly_bad.py": [
+        ("TMF006", 4),  # dangling single-writer in a messages-only module
     ],
     "tmf007_bad.py": [
         ("TMF007", 11),  # after continue

@@ -29,6 +29,7 @@ def _tree(*parts: str) -> str:
     [
         os.path.join("src", "repro", "algorithms"),
         os.path.join("src", "repro", "core"),
+        os.path.join("src", "repro", "net"),
         "examples",
     ],
 )

@@ -1,0 +1,128 @@
+"""Property tests: fuzzed delivery schedules for the mp layer.
+
+The fixed-schedule tests in ``test_channels.py`` pin one timing model per
+property; these fuzz the schedule space instead — random jitter, random
+timing-failure windows, random workload shapes — and assert the channel
+invariants that must survive *any* timing behaviour:
+
+* **FIFO**: per ordered pair, messages arrive in send order;
+* **no loss / no duplication**: every message sent is received exactly
+  once (mailboxes are reliable by construction; the property checks the
+  register emulation preserves that under stretched schedules).
+
+Every draw derives from ``random.Random(seed)`` with the seed in the test
+id, so a failure replays exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.mp import Network, OmegaElection, eventual_agreement
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    FailureWindowTiming,
+    RunStatus,
+    UniformTiming,
+    failure_window,
+)
+
+CHANNEL_SEEDS = range(20)
+OMEGA_SEEDS = range(5)
+
+
+def _fuzzed_timing(rng, pids):
+    """Uniform jitter, optionally wrapped in 1-2 timing-failure windows."""
+    lo = rng.uniform(0.02, 0.3)
+    base = UniformTiming(lo, lo + rng.uniform(0.1, 0.9), seed=rng.randrange(10_000))
+    if rng.random() < 0.7:
+        windows = []
+        start = rng.uniform(0.0, 4.0)
+        for _ in range(rng.randrange(1, 3)):
+            end = start + rng.uniform(1.0, 8.0)
+            victims = rng.sample(pids, rng.randrange(1, len(pids) + 1))
+            windows.append(
+                failure_window(start, end, pids=victims,
+                               stretch=rng.uniform(5.0, 40.0))
+            )
+            start = end + rng.uniform(0.0, 3.0)
+        return FailureWindowTiming(base, windows)
+    return base
+
+
+@pytest.mark.parametrize("seed", CHANNEL_SEEDS)
+def test_channels_fifo_no_loss_under_fuzzed_schedules(seed):
+    rng = random.Random(f"mp-channels:{seed}")
+    senders = rng.randrange(1, 4)
+    receiver = senders  # pids 0..senders-1 send, the last pid receives
+    n = senders + 1
+    counts = {pid: rng.randrange(1, 8) for pid in range(senders)}
+    net = Network(n)
+
+    def sender(pid):
+        endpoint = net.endpoint(pid)
+        for i in range(counts[pid]):
+            yield from endpoint.send(receiver, (pid, i))
+
+    def sink(pid):
+        endpoint = net.endpoint(pid)
+        got = []
+        while len(got) < sum(counts.values()):
+            inbox = yield from endpoint.poll()
+            got.extend(inbox)
+        return got
+
+    engine = Engine(
+        delta=1.0,
+        timing=_fuzzed_timing(rng, list(range(n))),
+        max_time=50_000.0,
+    )
+    for pid in range(senders):
+        engine.spawn(sender(pid), pid=pid)
+    engine.spawn(sink(receiver), pid=receiver)
+    result = engine.run()
+
+    assert result.status is RunStatus.COMPLETED
+    inbox = result.returns[receiver]
+    for pid in range(senders):
+        from_pid = [message for sender_pid, message in inbox
+                    if sender_pid == pid]
+        # One equality carries FIFO, no-loss and no-duplication at once.
+        assert from_pid == [(pid, i) for i in range(counts[pid])]
+
+
+@pytest.mark.parametrize("seed", OMEGA_SEEDS)
+def test_omega_converges_after_fuzzed_failure_injection(seed):
+    """Ω's contract under combined crash + timing-failure injection: the
+    survivors eventually agree on the smallest live pid, however the
+    window parameters fall."""
+    rng = random.Random(f"mp-omega:{seed}")
+    n = 3
+    rounds = 50
+    omega = OmegaElection(n, heartbeat_period=1.0, initial_timeout=2.5,
+                          timeout_growth=2.0)
+    crash_at = rng.uniform(3.0, 8.0)
+    window = failure_window(
+        crash_at + rng.uniform(1.0, 4.0),
+        crash_at + rng.uniform(6.0, 12.0),
+        pids=[1],
+        stretch=rng.uniform(20.0, 60.0),
+    )
+    engine = Engine(
+        delta=1.0,
+        timing=FailureWindowTiming(ConstantTiming(0.1), [window]),
+        crashes=CrashSchedule(at_time={0: crash_at}),
+        max_time=50_000.0,
+    )
+    for pid in range(n):
+        engine.spawn(omega.run(pid, rounds), pid=pid)
+    result = engine.run()
+
+    survivors = {pid: samples for pid, samples in result.returns.items()
+                 if pid != 0}
+    assert set(survivors) == {1, 2}
+    # After the crash of pid 0 and the close of pid 1's stretched window,
+    # adaptive timeouts settle and both survivors elect pid 1.
+    assert eventual_agreement(survivors, tail_fraction=0.2) == 1

@@ -1,0 +1,225 @@
+"""Tests for the ABD quorum register emulation."""
+
+import pytest
+
+from repro.net import NetFaultPlan, Partition, QuorumSystem
+from repro.sim import RunStatus, ops
+from repro.sim.failures import CrashSchedule
+from repro.sim.registers import Register
+
+
+class TestReadWrite:
+    def test_write_then_read_round_trips(self):
+        reg = Register("r", 0)
+
+        def client():
+            yield reg.write(41)
+            yield reg.write(42)
+            value = yield reg.read()
+            return value
+
+        system = QuorumSystem(clients=1, replicas=3, seed=0)
+        result = system.run([client()])
+        assert result.status is RunStatus.COMPLETED
+        assert result.returns[0] == 42
+
+    def test_read_of_untouched_register_returns_initial(self):
+        reg = Register("fresh", initial="seed-value")
+
+        def client():
+            return (yield reg.read())
+
+        system = QuorumSystem(clients=1, replicas=3, seed=0)
+        result = system.run([client()])
+        assert result.returns[0] == "seed-value"
+
+    def test_write_is_visible_to_another_client(self):
+        reg = Register("flag", 0)
+
+        def writer():
+            yield reg.write("set")
+
+        def watcher():
+            while True:
+                value = yield reg.read()
+                if value == "set":
+                    return value
+
+        system = QuorumSystem(clients=2, replicas=3, seed=1)
+        result = system.run([writer(), watcher()])
+        assert result.status is RunStatus.COMPLETED
+        assert result.returns[1] == "set"
+
+    def test_concurrent_writers_are_totally_ordered(self):
+        # Two clients write distinct values; a majority of replicas must
+        # agree on a single winner (timestamps break the tie by pid).
+        reg = Register("race", None)
+
+        def client(pid):
+            yield reg.write(f"from-{pid}")
+
+        system = QuorumSystem(clients=2, replicas=3, seed=2)
+        result = system.run([client(0), client(1)])
+        assert result.status is RunStatus.COMPLETED
+        finals = [store["race"] for store in system.replica_stores.values()
+                  if "race" in store]
+        winner = max(finals, key=lambda pair: pair[0])
+        holders = [f for f in finals if f == winner]
+        assert len(holders) >= system.majority
+
+    def test_rmw_ops_are_rejected(self):
+        reg = Register("counter", 0)
+
+        def client():
+            yield ops.fetch_and_add(reg, 1)
+
+        system = QuorumSystem(clients=1, replicas=3)
+        facade = system.emulate_registers(0, client())
+        with pytest.raises(TypeError, match="read/write"):
+            next(facade)
+
+
+class TestFacade:
+    def test_non_shared_ops_pass_through(self):
+        reg = Register("r", 0)
+
+        def client():
+            yield ops.label(ops.DECIDED, "payload")
+            yield ops.delay(0.5)
+            yield ops.local_work(0.1)
+            yield reg.write(7)
+            return "done"
+
+        system = QuorumSystem(clients=1, replicas=3, seed=0)
+        result = system.run([client()])
+        assert result.status is RunStatus.COMPLETED
+        assert result.returns[0] == "done"
+        assert result.trace.decisions()[0][1] == "payload"
+
+    def test_replicas_return_none_and_record_their_stores(self):
+        reg = Register("r", 0)
+
+        def client():
+            yield reg.write(99)
+
+        system = QuorumSystem(clients=1, replicas=3, seed=0)
+        result = system.run([client()])
+        # Replica pids return None (a replica is not a decider) ...
+        for pid in system.replica_pids:
+            assert result.returns[pid] is None
+        # ... and the final stores land in replica_stores: a majority
+        # holds the write (read-repair-free run: exactly the update set).
+        holders = [pid for pid, store in system.replica_stores.items()
+                   if store.get("r", (None, None))[1] == 99]
+        assert len(holders) >= system.majority
+
+    def test_read_repair_propagates_the_value(self):
+        reg = Register("r", 0)
+
+        def writer():
+            yield reg.write(5)
+
+        def reader():
+            while True:
+                value = yield reg.read()
+                if value == 5:
+                    return value
+
+        system = QuorumSystem(clients=2, replicas=5, seed=3)
+        result = system.run([writer(), reader()])
+        assert result.status is RunStatus.COMPLETED
+        holders = [pid for pid, store in system.replica_stores.items()
+                   if store.get("r", (None, None))[1] == 5]
+        # Write majority (3) plus the read's write-back majority can cover
+        # more replicas than the original write alone.
+        assert len(holders) >= system.majority
+
+
+class TestFailures:
+    def test_crash_minority_is_invisible_to_clients(self):
+        reg = Register("r", 0)
+
+        def client():
+            yield reg.write(1)
+            value = yield reg.read()
+            return value
+
+        system = QuorumSystem(
+            clients=1,
+            replicas=3,
+            seed=0,
+            crashes=CrashSchedule(at_time={1: 0.05}),  # pid 1 = a replica
+        )
+        result = system.run([client()])
+        assert result.status is RunStatus.COMPLETED
+        assert result.returns[0] == 1
+        assert 1 in result.crashed_pids
+
+    def test_majority_partition_blocks_instead_of_lying(self):
+        reg = Register("r", "initial")
+
+        def client():
+            yield reg.write("lost?")
+            return (yield reg.read())
+
+        # Both non-client replicas unreachable forever: no majority exists,
+        # so the write must block until the time limit — never complete
+        # with a stale or phantom result.
+        system = QuorumSystem(
+            clients=1,
+            replicas=3,
+            seed=0,
+            faults=NetFaultPlan(partitions=(
+                Partition(start=0.0, end=10_000.0, groups=((0, 1), (2, 3))),
+            )),
+            max_time=50.0,
+        )
+        result = system.run([client()])
+        assert result.status is RunStatus.TIME_LIMIT
+        assert 0 not in result.returns  # the client never finished
+
+    def test_operations_resume_after_the_partition_heals(self):
+        reg = Register("r", 0)
+
+        def client():
+            yield reg.write("survived")
+            return (yield reg.read())
+
+        system = QuorumSystem(
+            clients=1,
+            replicas=3,
+            seed=0,
+            faults=NetFaultPlan(partitions=(
+                Partition(start=0.0, end=8.0, groups=((0, 1), (2, 3))),
+            )),
+        )
+        result = system.run([client()])
+        assert result.status is RunStatus.COMPLETED
+        assert result.returns[0] == "survived"
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ValueError):
+            QuorumSystem(clients=0)
+        with pytest.raises(ValueError):
+            QuorumSystem(clients=1, replicas=0)
+
+    def test_majority_formula(self):
+        assert QuorumSystem(clients=1, replicas=3).majority == 2
+        assert QuorumSystem(clients=1, replicas=4).majority == 3
+        assert QuorumSystem(clients=1, replicas=5).majority == 3
+
+    def test_program_count_must_match_clients(self):
+        system = QuorumSystem(clients=2)
+        with pytest.raises(ValueError):
+            system.run([iter(())])
+
+    def test_system_is_single_use(self):
+        def client():
+            return (yield ops.delay(0.1))
+
+        system = QuorumSystem(clients=1)
+        system.run([client()])
+        with pytest.raises(RuntimeError, match="already ran"):
+            system.run([client()])

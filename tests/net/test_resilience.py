@@ -1,0 +1,97 @@
+"""Tests for the Δ ↔ delivery-bound resilience bridge."""
+
+import math
+
+import pytest
+
+from repro.net import (
+    DelaySpike,
+    MessageLoss,
+    NetFaultPlan,
+    Partition,
+    QuorumSystem,
+    bound_for_delta,
+    convergence_start,
+    default_costs,
+    delta_net,
+    emulated_op_bound,
+)
+from repro.net.resilience import (
+    POLL_FACTOR,
+    RECV_COST_FACTOR,
+    SEND_COST_FACTOR,
+)
+from repro.sim.failures import CrashSchedule
+
+
+class TestEmulatedOpBound:
+    def test_scales_linearly_with_the_bound(self):
+        for clients in (1, 2, 5):
+            one = emulated_op_bound(1.0, clients=clients)
+            assert emulated_op_bound(3.0, clients=clients) == pytest.approx(3 * one)
+
+    def test_grows_with_contention(self):
+        # More clients -> longer replica service bursts -> larger Δ_net.
+        bounds = [emulated_op_bound(1.0, clients=c) for c in range(1, 6)]
+        assert bounds == sorted(bounds)
+        assert bounds[0] < bounds[-1]
+
+    def test_closed_form_under_default_costs(self):
+        # phase = send + bound + wake + clients·send + bound + wake,
+        # wake = clients·send + poll + recv, Δ_net = 2·phase.
+        bound, clients = 1.0, 3
+        send = bound * SEND_COST_FACTOR
+        recv = bound * RECV_COST_FACTOR
+        poll = bound * POLL_FACTOR
+        wake = clients * send + poll + recv
+        phase = send + bound + wake + clients * send + bound + wake
+        assert emulated_op_bound(bound, clients=clients) == pytest.approx(2 * phase)
+
+    def test_explicit_costs_override_the_factors(self):
+        base = emulated_op_bound(1.0, clients=2)
+        bigger = emulated_op_bound(1.0, clients=2, poll=2.0)
+        assert bigger > base
+
+    def test_bound_for_delta_is_the_inverse(self):
+        for clients in (1, 2, 4):
+            for delta in (1.0, 6.2, 100.0):
+                bound = bound_for_delta(delta, clients=clients)
+                assert emulated_op_bound(bound, clients=clients) == pytest.approx(delta)
+
+    def test_delta_net_matches_a_built_system(self):
+        system = QuorumSystem(clients=3, bound=2.0)
+        assert delta_net(system) == pytest.approx(system.delta)
+        assert system.delta == pytest.approx(emulated_op_bound(2.0, clients=3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            emulated_op_bound(0.0)
+        with pytest.raises(ValueError):
+            emulated_op_bound(1.0, clients=0)
+        with pytest.raises(ValueError):
+            bound_for_delta(0.0)
+        with pytest.raises(ValueError):
+            default_costs(-1.0)
+
+
+class TestConvergenceStart:
+    def test_quiet_network_starts_at_zero(self):
+        assert convergence_start(NetFaultPlan.none()) == 0.0
+
+    def test_last_window_close_wins(self):
+        plan = NetFaultPlan(
+            spikes=(DelaySpike(start=0.0, end=4.0),),
+            partitions=(Partition(start=1.0, end=9.0, groups=((0,), (1,))),),
+        )
+        assert convergence_start(plan) == 9.0
+
+    def test_open_ended_windows_do_not_count(self):
+        plan = NetFaultPlan(losses=(MessageLoss(rate=0.5, end=math.inf),))
+        assert convergence_start(plan) == 0.0
+
+    def test_late_crash_moves_the_clock(self):
+        plan = NetFaultPlan(spikes=(DelaySpike(start=0.0, end=4.0),))
+        crashes = CrashSchedule(at_time={2: 11.0})
+        assert convergence_start(plan, crashes, pids=(0, 1, 2)) == 11.0
+        # An uncrashed pid contributes nothing.
+        assert convergence_start(plan, crashes, pids=(0, 1)) == 4.0

@@ -1,0 +1,177 @@
+"""Tests for the deterministic message transport and its fault plans."""
+
+import math
+
+import pytest
+
+from repro.net import DelaySpike, MessageLoss, NetFaultPlan, Partition, Transport
+
+
+class TestDelivery:
+    def test_fault_free_message_deliverable_by_the_bound(self):
+        t = Transport(2, bound=1.0, seed=0)
+        t.send(0, 1, "hello", now=0.0)
+        assert t.collect(1, now=1.0) == [(0, "hello")]
+
+    def test_delay_respects_min_factor(self):
+        # min_factor=0.1 means nothing arrives before 0.1·bound.
+        t = Transport(2, bound=1.0, seed=0, min_factor=0.1)
+        for i in range(50):
+            t.send(0, 1, i, now=0.0)
+        assert t.collect(1, now=0.0999) == []
+        got = [payload for _, payload in t.collect(1, now=1.0)]
+        assert sorted(got) == list(range(50))
+
+    def test_collect_is_by_deadline_not_fifo(self):
+        t = Transport(2, bound=1.0, seed=7)
+        for i in range(10):
+            t.send(0, 1, i, now=0.0)
+        early = t.collect(1, now=0.5)
+        late = t.collect(1, now=1.0)
+        assert len(early) + len(late) == 10
+        # Early batch really was deliverable early: collecting again at the
+        # same instant yields nothing.
+        assert t.collect(1, now=1.0) == []
+
+    def test_per_link_bound_override(self):
+        t = Transport(3, bound=1.0, seed=0, link_bounds={(0, 2): 10.0},
+                      min_factor=1.0)
+        t.send(0, 1, "fast", now=0.0)
+        t.send(0, 2, "slow", now=0.0)
+        assert t.collect(1, now=1.0) == [(0, "fast")]
+        assert t.collect(2, now=1.0) == []
+        assert t.collect(2, now=10.0) == [(0, "slow")]
+        assert t.link_bound(0, 2) == 10.0
+        assert t.link_bound(0, 1) == 1.0
+
+    def test_determinism_same_seed_same_fates(self):
+        def drive(seed):
+            t = Transport(3, bound=1.0, seed=seed,
+                          faults=NetFaultPlan(losses=(MessageLoss(rate=0.5),)))
+            for i in range(40):
+                t.send(i % 2, 2, i, now=float(i) * 0.1)
+            return t.collect(2, now=100.0), t.stats.snapshot()
+
+        assert drive("s") == drive("s")
+        # A different seed draws different delays (and loss decisions).
+        assert drive("s") != drive("other")
+
+
+class TestStatsAccounting:
+    def test_sent_splits_into_delivered_dropped_in_flight(self):
+        plan = NetFaultPlan(losses=(MessageLoss(rate=0.3, end=5.0),))
+        t = Transport(2, bound=1.0, seed=1, faults=plan)
+        for i in range(30):
+            t.send(0, 1, i, now=float(i) * 0.3)
+        t.collect(1, now=4.0)
+        s = t.stats
+        assert s.messages_sent == 30
+        assert s.messages_sent == (
+            s.messages_delivered + s.messages_dropped + t.in_flight(1)
+        )
+        assert s.messages_dropped > 0
+
+    def test_snapshot_key_order_is_stable(self):
+        t = Transport(2)
+        assert list(t.stats.snapshot()) == [
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "quorum_rtts",
+        ]
+
+
+class TestFaultPlans:
+    def test_loss_window_only_drops_inside_the_window(self):
+        plan = NetFaultPlan(losses=(MessageLoss(rate=1.0, start=2.0, end=4.0),))
+        t = Transport(2, bound=1.0, seed=0, faults=plan)
+        t.send(0, 1, "before", now=1.0)
+        t.send(0, 1, "during", now=3.0)
+        t.send(0, 1, "after", now=4.0)  # window is half-open [start, end)
+        assert t.stats.messages_dropped == 1
+        got = [payload for _, payload in t.collect(1, now=10.0)]
+        assert sorted(got) == ["after", "before"]
+
+    def test_loss_pids_restricts_the_affected_links(self):
+        loss = MessageLoss(rate=1.0, pids=(2,))
+        assert loss.affects(0, 2, 1.0)
+        assert loss.affects(2, 1, 1.0)
+        assert not loss.affects(0, 1, 1.0)
+
+    def test_partition_severs_cross_group_then_heals(self):
+        plan = NetFaultPlan(partitions=(
+            Partition(start=0.0, end=5.0, groups=((0, 1), (2,))),
+        ))
+        t = Transport(3, bound=1.0, seed=0, faults=plan)
+        t.send(0, 2, "cross", now=1.0)   # severed
+        t.send(0, 1, "intra", now=1.0)   # same group: unaffected
+        t.send(0, 2, "healed", now=5.0)  # window closed
+        assert t.stats.messages_dropped == 1
+        assert t.collect(1, now=10.0) == [(0, "intra")]
+        assert t.collect(2, now=10.0) == [(0, "healed")]
+
+    def test_partition_ignores_unlisted_pids(self):
+        p = Partition(start=0.0, end=5.0, groups=((0,), (1,)))
+        assert p.severs(0, 1, 1.0)
+        assert not p.severs(0, 2, 1.0)  # pid 2 is in no group
+        assert not p.severs(0, 1, 5.0)  # healed
+
+    def test_delay_spike_pushes_delivery_past_the_bound(self):
+        plan = NetFaultPlan(spikes=(
+            DelaySpike(start=0.0, end=1.0, stretch=10.0),
+        ))
+        t = Transport(2, bound=1.0, seed=0, faults=plan, min_factor=1.0)
+        t.send(0, 1, "slow", now=0.0)   # delay = 1.0 * 10
+        t.send(0, 1, "fast", now=1.0)   # spike over: delay = 1.0
+        assert t.collect(1, now=2.0) == [(0, "fast")]
+        assert t.collect(1, now=10.0) == [(0, "slow")]
+        assert t.stats.messages_dropped == 0  # a spike delays, never drops
+
+    def test_spike_apply_is_stretch_then_extra(self):
+        spike = DelaySpike(start=0.0, end=1.0, stretch=3.0, extra=0.5)
+        assert spike.apply(2.0) == pytest.approx(6.5)
+
+    def test_last_disruption_end(self):
+        assert NetFaultPlan.none().last_disruption_end == 0.0
+        plan = NetFaultPlan(
+            losses=(MessageLoss(rate=0.1, start=0.0, end=math.inf),),
+            spikes=(DelaySpike(start=0.0, end=7.0),),
+            partitions=(Partition(start=2.0, end=4.0, groups=((0,), (1,))),),
+        )
+        # The open-ended loss window is excluded; the spike closes last.
+        assert plan.last_disruption_end == 7.0
+
+
+class TestValidation:
+    def test_transport_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            Transport(0)
+        with pytest.raises(ValueError):
+            Transport(2, bound=0.0)
+        with pytest.raises(ValueError):
+            Transport(2, min_factor=1.5)
+
+    def test_transport_rejects_bad_sends(self):
+        t = Transport(2)
+        with pytest.raises(ValueError):
+            t.send(0, 0, "self", now=0.0)
+        with pytest.raises(ValueError):
+            t.send(0, 9, "nowhere", now=0.0)
+
+    def test_peers_excludes_self(self):
+        t = Transport(4)
+        assert t.peers(2) == (0, 1, 3)
+
+    def test_fault_dataclass_validation(self):
+        with pytest.raises(ValueError):
+            MessageLoss(rate=1.5)
+        with pytest.raises(ValueError):
+            MessageLoss(rate=0.1, start=3.0, end=3.0)
+        with pytest.raises(ValueError):
+            DelaySpike(start=0.0, end=1.0, stretch=0.5)
+        with pytest.raises(ValueError):
+            DelaySpike(start=0.0, end=1.0, extra=-1.0)
+        with pytest.raises(ValueError):
+            DelaySpike(start=2.0, end=1.0)
+        with pytest.raises(ValueError):
+            Partition(start=0.0, end=1.0, groups=((0, 1), (1, 2)))
