@@ -156,6 +156,40 @@ def _net_abd_read_write() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Chaos scenarios: fault campaigns + counterexample shrinking.
+# ---------------------------------------------------------------------------
+
+
+def _chaos_fischer_campaign() -> Dict[str, int]:
+    """Find a Fischer n=3 violation under a 6-window campaign, then shrink.
+
+    The whole pipeline runs on the untimed sandbox, so the probe sees no
+    engine work; the returned counters are the pipeline's own
+    deterministic sizes — any drift means the scheduler, the monitors or
+    the shrinker changed behaviour.
+    """
+    # Imported here to keep repro.bench importable without the chaos layer.
+    from ..chaos import run_sim_campaign, sample_sim_campaign, shrink_sim, sim_target
+
+    target = sim_target("fischer_n3")
+    campaign = sample_sim_campaign("demo-a", pids=target.pids, windows=6)
+    report = run_sim_campaign(target, campaign, schedules=20)
+    outcome = report.failing
+    assert outcome is not None
+    violation = outcome.find("mutual_exclusion")
+    shrunk = shrink_sim(target, campaign, outcome.schedule,
+                        monitor="mutual_exclusion")
+    return {
+        "chaos_schedules_run": report.schedules_run,
+        "chaos_schedule_steps": len(outcome.schedule),
+        "chaos_violation_step": violation.step,
+        "chaos_shrunk_steps": len(shrunk.payload),
+        "chaos_shrunk_faults": shrunk.campaign.fault_count,
+        "chaos_shrink_executions": shrunk.executions,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Experiment scenarios: the paper's drivers, instrumented from outside.
 # ---------------------------------------------------------------------------
 
@@ -203,6 +237,12 @@ _REGISTRY: List[Scenario] = [
         "E1N (reduced): networked consensus n=4, one seed",
         quick=True,
         fn=_experiment(experiments.run_e1_net, ns=(4,), seeds=(0,)),
+    ),
+    Scenario(
+        "chaos/fischer_campaign",
+        "chaos campaign on Fischer n=3: find a violation, ddmin-shrink it",
+        quick=True,
+        fn=_chaos_fischer_campaign,
     ),
     Scenario(
         "experiments/e4_fastpath",

@@ -1,0 +1,89 @@
+"""``repro.chaos`` — cross-substrate fault campaigns, shrinking, artifacts.
+
+The robustness layer: one :class:`~repro.chaos.plan.Campaign` algebra
+composes sim-side faults (timing windows, crashes, memory corruptions)
+and net-side faults (loss, delay spikes, partitions); online monitors
+check stabilization and convergence *during* runs; a delta-debugging
+shrinker minimizes failing ``(campaign, payload, seed)`` triples; and
+JSON artifacts replay violations bit-identically anywhere
+(``python -m repro.chaos run|shrink|replay``).
+"""
+
+from .artifact import (
+    Artifact,
+    ReplayReport,
+    artifact_from_net,
+    artifact_from_sim,
+    load_artifact,
+    replay,
+    save_artifact,
+)
+from .monitors import (
+    ChaosMonitor,
+    ChaosViolation,
+    ConvergenceMonitor,
+    SafetyMonitor,
+    TraceResilienceMonitor,
+    default_monitors,
+)
+from .plan import (
+    Campaign,
+    MemCorruption,
+    campaign_from_dict,
+    campaign_to_dict,
+    sample_net_campaign,
+    sample_sim_campaign,
+)
+from .runner import (
+    SIM_TARGETS,
+    CampaignReport,
+    NetOutcome,
+    NetParams,
+    SimOutcome,
+    SimTarget,
+    run_net,
+    run_net_campaign,
+    run_sim,
+    run_sim_campaign,
+    sample_net_workload,
+    sim_target,
+)
+from .shrink import ShrinkResult, ddmin, shrink_net, shrink_sim
+
+__all__ = [
+    "Campaign",
+    "MemCorruption",
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "sample_sim_campaign",
+    "sample_net_campaign",
+    "ChaosMonitor",
+    "ChaosViolation",
+    "SafetyMonitor",
+    "ConvergenceMonitor",
+    "TraceResilienceMonitor",
+    "default_monitors",
+    "SimTarget",
+    "SIM_TARGETS",
+    "sim_target",
+    "SimOutcome",
+    "NetOutcome",
+    "NetParams",
+    "CampaignReport",
+    "run_sim",
+    "run_sim_campaign",
+    "run_net",
+    "run_net_campaign",
+    "sample_net_workload",
+    "ddmin",
+    "ShrinkResult",
+    "shrink_sim",
+    "shrink_net",
+    "Artifact",
+    "ReplayReport",
+    "artifact_from_sim",
+    "artifact_from_net",
+    "save_artifact",
+    "load_artifact",
+    "replay",
+]

@@ -1,0 +1,265 @@
+"""Deterministic repro artifacts: a failing chaos run as a JSON file.
+
+An artifact captures everything needed to reproduce a violation on any
+machine: the campaign (pure data), the payload (pid schedule or client
+workload), the run seed, and the violation that is *expected* back —
+monitor, message, and firing step.  :func:`replay` re-executes the run
+and verifies the violation reproduces **identically**; any drift (a
+different message, a different step) is reported as a mismatch rather
+than papered over, because an artifact whose replay drifts is a
+determinism bug in the substrate and we want CI to catch exactly that.
+
+The JSON is written with sorted keys and a fixed schema version so
+artifacts diff cleanly in review and survive being archived by CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .monitors import ChaosViolation
+from .plan import Campaign, campaign_from_dict, campaign_to_dict
+from .runner import (
+    DEFAULT_MAX_STEPS,
+    NetOutcome,
+    NetParams,
+    SimOutcome,
+    run_net,
+    run_sim,
+    sim_target,
+)
+from .shrink import ShrinkResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Artifact",
+    "artifact_from_sim",
+    "artifact_from_net",
+    "save_artifact",
+    "load_artifact",
+    "ReplayReport",
+    "replay",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One archived failing run.  ``payload`` is the schedule (sim) or
+    workload (net); ``provenance`` records what shrinking achieved."""
+
+    substrate: str
+    campaign: Campaign
+    payload: Any
+    violation: ChaosViolation
+    target: Optional[str] = None  # sim: SIM_TARGETS name
+    run_seed: Optional[str] = None
+    max_steps: int = DEFAULT_MAX_STEPS  # sim replay budget
+    net_params: Optional[NetParams] = None
+    provenance: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "substrate": self.substrate,
+            "campaign": campaign_to_dict(self.campaign),
+            "violation": {
+                "monitor": self.violation.monitor,
+                "message": self.violation.message,
+                "step": self.violation.step,
+            },
+            "run_seed": self.run_seed,
+            "provenance": dict(self.provenance),
+        }
+        if self.substrate == "sim":
+            data["target"] = self.target
+            data["schedule"] = list(self.payload)
+            data["max_steps"] = self.max_steps
+        else:
+            data["workload"] = [
+                [list(op) for op in client_ops] for client_ops in self.payload
+            ]
+            data["net_params"] = (self.net_params or NetParams()).to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Artifact":
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported artifact schema {schema!r} "
+                f"(this build reads schema {SCHEMA_VERSION})"
+            )
+        substrate = data["substrate"]
+        violation = ChaosViolation(
+            monitor=data["violation"]["monitor"],
+            message=data["violation"]["message"],
+            step=int(data["violation"]["step"]),
+        )
+        if substrate == "sim":
+            payload: Any = tuple(int(pid) for pid in data["schedule"])
+            net_params = None
+            max_steps = int(data.get("max_steps", DEFAULT_MAX_STEPS))
+        else:
+            payload = tuple(
+                tuple((op[0], int(op[1]), op[2]) for op in client_ops)
+                for client_ops in data["workload"]
+            )
+            net_params = NetParams.from_dict(data["net_params"])
+            max_steps = DEFAULT_MAX_STEPS
+        return cls(
+            substrate=substrate,
+            campaign=campaign_from_dict(data["campaign"]),
+            payload=payload,
+            violation=violation,
+            target=data.get("target"),
+            run_seed=data.get("run_seed"),
+            max_steps=max_steps,
+            net_params=net_params,
+            provenance=dict(data.get("provenance", {})),
+        )
+
+
+def _provenance(shrunk: Optional[ShrinkResult]) -> Dict[str, Any]:
+    if shrunk is None:
+        return {}
+    from .shrink import _payload_size
+
+    return {
+        "original_fault_count": shrunk.original_campaign.fault_count,
+        "original_payload_size": _payload_size(shrunk.original_payload),
+        "shrunk_fault_count": shrunk.campaign.fault_count,
+        "shrunk_payload_size": _payload_size(shrunk.payload),
+        "shrink_executions": shrunk.executions,
+        "shrink_rounds": shrunk.rounds,
+    }
+
+
+def artifact_from_sim(
+    target_name: str,
+    outcome: SimOutcome,
+    violation: Optional[ChaosViolation] = None,
+    shrunk: Optional[ShrinkResult] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Artifact:
+    """Package a failing sim run (optionally its shrunk form)."""
+    campaign = outcome.campaign
+    payload: Any = outcome.schedule
+    if violation is None:
+        violation = outcome.violations[0]
+    if shrunk is not None:
+        campaign, payload, violation = shrunk.campaign, shrunk.payload, shrunk.violation
+    return Artifact(
+        substrate="sim",
+        campaign=campaign,
+        payload=payload,
+        violation=violation,
+        target=target_name,
+        run_seed=outcome.run_seed,
+        max_steps=max_steps,
+        provenance=_provenance(shrunk),
+    )
+
+
+def artifact_from_net(
+    outcome: NetOutcome,
+    params: NetParams,
+    violation: Optional[ChaosViolation] = None,
+    shrunk: Optional[ShrinkResult] = None,
+) -> Artifact:
+    """Package a failing net run (optionally its shrunk form)."""
+    campaign = outcome.campaign
+    payload: Any = outcome.workload
+    if violation is None:
+        violation = outcome.violations[0]
+    if shrunk is not None:
+        campaign, payload, violation = shrunk.campaign, shrunk.payload, shrunk.violation
+    return Artifact(
+        substrate="net",
+        campaign=campaign,
+        payload=payload,
+        violation=violation,
+        run_seed=outcome.run_seed,
+        net_params=params,
+        provenance=_provenance(shrunk),
+    )
+
+
+def save_artifact(artifact: Artifact, path: Union[str, Path]) -> Path:
+    """Write the artifact as reviewable JSON (sorted keys, indented)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(artifact.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Artifact:
+    return Artifact.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class ReplayReport:
+    """Did the archived violation reproduce *identically*?"""
+
+    ok: bool
+    expected: ChaosViolation
+    actual: Optional[ChaosViolation]
+    detail: str
+
+    def __repr__(self) -> str:
+        status = "reproduced" if self.ok else "MISMATCH"
+        return f"ReplayReport({status}: {self.detail})"
+
+
+def replay(artifact: Artifact) -> ReplayReport:
+    """Re-execute the artifact's run and compare violations exactly."""
+    expected = artifact.violation
+    if artifact.substrate == "sim":
+        outcome = run_sim(
+            sim_target(artifact.target),
+            artifact.campaign,
+            schedule=list(artifact.payload),
+            max_steps=artifact.max_steps,
+            stop_monitor=expected.monitor,
+        )
+        actual = outcome.find(expected.monitor)
+    else:
+        net_outcome = run_net(
+            artifact.campaign,
+            artifact.payload,
+            params=artifact.net_params or NetParams(),
+            run_seed=artifact.run_seed,
+        )
+        actual = None
+        for candidate in net_outcome.violations:
+            if candidate.monitor == expected.monitor:
+                actual = candidate
+                break
+    if actual is None:
+        return ReplayReport(
+            ok=False,
+            expected=expected,
+            actual=None,
+            detail=f"monitor {expected.monitor!r} did not fire on replay",
+        )
+    if actual != expected:
+        return ReplayReport(
+            ok=False,
+            expected=expected,
+            actual=actual,
+            detail=(
+                f"violation drifted: expected {expected!r}, got {actual!r}"
+            ),
+        )
+    return ReplayReport(
+        ok=True,
+        expected=expected,
+        actual=actual,
+        detail=f"{expected.monitor} @step {expected.step} reproduced",
+    )

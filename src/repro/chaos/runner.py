@@ -1,0 +1,565 @@
+"""Executing campaigns: targets, schedule generation, deterministic replay.
+
+**Sim substrate.**  A chaos run drives the asynchronous sandbox
+(:class:`~repro.verify.sandbox.Sandbox`) with a *campaign-aware* random
+scheduler over the logical clock (number of shared steps executed):
+
+* a :class:`~repro.sim.failures.TimingFailureWindow` active at the
+  current clock **stalls** its affected processes — their pending step
+  "takes longer than Δ", i.e. it completes only once the scheduler
+  leaves the window (unless every runnable process is stalled, in which
+  case one of them completes anyway: a timing failure delays steps, it
+  cannot stop the whole system);
+* crash entries permanently remove a process from scheduling at a
+  logical time (``crash_at``) or after a number of its own steps
+  (``crash_after``);
+* :class:`~repro.chaos.plan.MemCorruption` entries poke the named
+  register at their logical instant.
+
+The recorded pid sequence plus the campaign's *state-affecting* faults
+(crashes, corruptions) fully determine the run, so
+:func:`run_sim` doubles as the deterministic replay function: pass the
+recorded ``schedule`` back and the identical execution — violations
+included — is reproduced.  Replay is *tolerant*: a scheduled pid that is
+finished, crashed, or suspended is skipped without advancing the clock,
+which is what lets the shrinker evaluate arbitrary subsequences.
+(Timing windows bias generation only; under the asynchronous semantics
+any recorded schedule is self-justifying, which is why the shrinker can
+usually delete every window — see :mod:`repro.chaos.shrink`.)
+
+**Net substrate.**  A chaos run is a seeded client workload over the ABD
+quorum emulation under the campaign's fault plan, checked against the
+atomic-register linearizability spec — the same harness as
+:mod:`repro.net.fuzz`, but with the explicit (campaign, workload, seed)
+triple the shrinker and the artifacts need.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..sim import ops
+from ..sim.registers import Register
+from ..verify.properties import (
+    AgreementProperty,
+    MutualExclusionProperty,
+    SafetyProperty,
+    ValidityProperty,
+)
+from ..verify.sandbox import ProgramFactory, Sandbox
+from .monitors import ChaosMonitor, ChaosViolation, default_monitors
+from .plan import Campaign
+
+__all__ = [
+    "SimTarget",
+    "SIM_TARGETS",
+    "sim_target",
+    "SimOutcome",
+    "run_sim",
+    "CampaignReport",
+    "run_sim_campaign",
+    "NetParams",
+    "NetOutcome",
+    "sample_net_workload",
+    "run_net",
+    "run_net_campaign",
+]
+
+DEFAULT_MAX_STEPS = 400
+
+
+# ---------------------------------------------------------------------------
+# Sim targets: named program-under-test configurations.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimTarget:
+    """A named sandbox configuration a campaign can be thrown at.
+
+    ``build`` returns fresh ``(factories, properties, registers)`` per
+    run — generators cannot be rewound, and ``registers`` (name ->
+    handle) is how :class:`~repro.chaos.plan.MemCorruption` entries are
+    resolved.
+    """
+
+    name: str
+    description: str
+    build: Callable[
+        [], Tuple[Dict[int, ProgramFactory], List[SafetyProperty], Dict[str, Register]]
+    ]
+    max_ops: int
+    pids: Tuple[int, ...]
+    expect_violation: bool  # documentation: does a violation exist at all?
+
+
+def _build_fischer_n3():
+    from ..algorithms import FischerLock, mutex_session
+
+    lock = FischerLock(delta=1.0)
+    factories = {
+        pid: (lambda p: mutex_session(lock, p, sessions=2, cs_duration=1.0))
+        for pid in range(3)
+    }
+    return factories, [MutualExclusionProperty()], {"x": lock.x}
+
+
+def _build_alg3_n4():
+    from ..algorithms import mutex_session
+    from ..core.mutex import default_time_resilient_mutex
+
+    lock = default_time_resilient_mutex(4, delta=1.0)
+    factories = {
+        pid: (lambda p: mutex_session(lock, p, sessions=1, cs_duration=1.0))
+        for pid in range(4)
+    }
+    return factories, [MutualExclusionProperty()], {}
+
+
+def _build_consensus_n4():
+    from ..core.consensus import TimeResilientConsensus, labeled_decision
+
+    consensus = TimeResilientConsensus(delta=1.0, max_rounds=3)
+    inputs = {pid: pid % 2 for pid in range(4)}
+    factories = {
+        pid: (lambda p: labeled_decision(consensus.propose(p, inputs[p])))
+        for pid in inputs
+    }
+    return factories, [AgreementProperty(), ValidityProperty(inputs)], {}
+
+
+SIM_TARGETS: Dict[str, SimTarget] = {
+    t.name: t
+    for t in (
+        SimTarget(
+            "fischer_n3",
+            "Fischer's lock, 3 processes, 2 sessions (violation exists)",
+            _build_fischer_n3,
+            max_ops=40,
+            pids=(0, 1, 2),
+            expect_violation=True,
+        ),
+        SimTarget(
+            "alg3_n4",
+            "Algorithm 3 mutex, 4 processes (must stay safe)",
+            _build_alg3_n4,
+            max_ops=120,
+            pids=(0, 1, 2, 3),
+            expect_violation=False,
+        ),
+        SimTarget(
+            "consensus_n4",
+            "Algorithm 1 consensus, 4 processes (must stay safe)",
+            _build_consensus_n4,
+            max_ops=80,
+            pids=(0, 1, 2, 3),
+            expect_violation=False,
+        ),
+    )
+}
+
+
+def sim_target(name: str) -> SimTarget:
+    try:
+        return SIM_TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sim target {name!r}; known: {', '.join(sorted(SIM_TARGETS))}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Sim execution: one function for generation AND replay.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SimOutcome:
+    """One sim chaos execution, generated or replayed."""
+
+    campaign: Campaign
+    schedule: Tuple[int, ...]
+    violations: List[ChaosViolation] = field(default_factory=list)
+    steps: int = 0
+    done: bool = False  # every process ran to completion
+    run_seed: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def find(self, monitor: str) -> Optional[ChaosViolation]:
+        """The first violation from the named monitor, if any."""
+        for violation in self.violations:
+            if violation.monitor == monitor:
+                return violation
+        return None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"SimOutcome({status}, steps={self.steps}, "
+            f"schedule_len={len(self.schedule)}, done={self.done})"
+        )
+
+
+def run_sim(
+    target: SimTarget,
+    campaign: Campaign,
+    schedule: Optional[Sequence[int]] = None,
+    run_seed: Optional[str] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    monitors: Optional[List[ChaosMonitor]] = None,
+    stop_monitor: Optional[str] = None,
+) -> SimOutcome:
+    """Execute one sim chaos run.
+
+    With ``schedule=None`` the campaign-aware scheduler (seeded from
+    ``(campaign.seed, run_seed)``) generates one; otherwise the given
+    schedule is replayed deterministically.  ``stop_monitor`` stops the
+    run as soon as that monitor fires (the shrinker's fast path);
+    otherwise the run continues to its natural end collecting every
+    monitor's first violation.
+    """
+    if campaign.substrate != "sim":
+        raise ValueError(f"expected a sim campaign, got {campaign.substrate!r}")
+    factories, properties, registers = target.build()
+    if monitors is None:
+        # Busy-wait step complexity is unbounded under adversarial
+        # interleavings, so the "still churning" budget scales with the
+        # target's total op budget rather than using a fixed constant.
+        budget = max(200, 2 * target.max_ops * len(target.pids))
+        monitors = default_monitors(properties, campaign, convergence_budget=budget)
+    for monitor in monitors:
+        monitor.reset()
+    sandbox = Sandbox(factories, max_ops=target.max_ops)
+
+    crash_at = dict(campaign.crash_at)
+    crash_after = dict(campaign.crash_after)
+    corruptions = sorted(campaign.corruptions, key=lambda c: c.at)
+    next_corruption = 0
+    windows = campaign.windows
+    generating = schedule is None
+    rng = random.Random(f"chaos:{campaign.seed}:{run_seed}") if generating else None
+
+    recorded: List[int] = []
+    violations: List[ChaosViolation] = []
+    clock = 0
+    halted: set = set()
+    inf = math.inf
+
+    def apply_corruptions() -> None:
+        nonlocal next_corruption
+        while next_corruption < len(corruptions) and corruptions[next_corruption].at <= clock:
+            corruption = corruptions[next_corruption]
+            try:
+                handle = registers[corruption.register]
+            except KeyError:
+                raise ValueError(
+                    f"campaign corrupts unknown register {corruption.register!r}; "
+                    f"target {target.name!r} declares {sorted(registers)}"
+                ) from None
+            sandbox.memory.poke(handle, corruption.value)
+            next_corruption += 1
+
+    def refresh_halted() -> None:
+        for pid in sandbox.enabled():
+            if pid in halted:
+                continue
+            if clock >= crash_at.get(pid, inf) or sandbox.op_count(pid) >= crash_after.get(pid, inf):
+                halted.add(pid)
+
+    def check_monitors() -> bool:
+        frozen_halted = frozenset(halted)
+        for monitor in monitors:
+            message = monitor.on_step(sandbox, clock, frozen_halted)
+            if message is not None:
+                violations.append(ChaosViolation(monitor.name, message, clock))
+                if stop_monitor is not None and monitor.name == stop_monitor:
+                    return True
+        return False
+
+    stopped = False
+    if generating:
+        while clock < max_steps:
+            apply_corruptions()
+            refresh_halted()
+            runnable = [p for p in sandbox.enabled() if p not in halted]
+            if not runnable:
+                break
+            free = [
+                p
+                for p in runnable
+                if not any(w.affects(p, clock) for w in windows)
+            ]
+            pid = rng.choice(free or runnable)
+            sandbox.step(pid)
+            recorded.append(pid)
+            clock += 1
+            if check_monitors():
+                stopped = True
+                break
+    else:
+        for pid in schedule:
+            apply_corruptions()
+            refresh_halted()
+            if pid in halted or pid not in sandbox.enabled():
+                continue  # tolerant replay: skip unrunnable slots
+            sandbox.step(pid)
+            recorded.append(pid)
+            clock += 1
+            if check_monitors():
+                stopped = True
+                break
+
+    done = (not stopped) and all(sandbox.done(pid) for pid in factories)
+    if not stopped:
+        frozen_halted = frozenset(halted)
+        for monitor in monitors:
+            message = monitor.finalize(sandbox, clock, frozen_halted)
+            if message is not None:
+                violations.append(ChaosViolation(monitor.name, message, clock))
+    return SimOutcome(
+        campaign=campaign,
+        schedule=tuple(recorded),
+        violations=violations,
+        steps=clock,
+        done=done,
+        run_seed=run_seed,
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of many runs of one campaign."""
+
+    campaign: Campaign
+    schedules_run: int = 0
+    total_steps: int = 0
+    failing: Optional[Any] = None  # first failing SimOutcome / NetOutcome
+
+    @property
+    def ok(self) -> bool:
+        return self.failing is None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"failing at run {self.failing.run_seed!r}"
+        return (
+            f"CampaignReport({status}, schedules={self.schedules_run}, "
+            f"steps={self.total_steps})"
+        )
+
+
+def run_sim_campaign(
+    target: SimTarget,
+    campaign: Campaign,
+    schedules: int = 20,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> CampaignReport:
+    """Run ``schedules`` generated executions; stop at the first failure."""
+    report = CampaignReport(campaign=campaign)
+    for index in range(schedules):
+        outcome = run_sim(
+            target, campaign, run_seed=str(index), max_steps=max_steps
+        )
+        report.schedules_run += 1
+        report.total_steps += outcome.steps
+        if not outcome.ok:
+            report.failing = outcome
+            break
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Net substrate: explicit workloads over the quorum emulation.
+# ---------------------------------------------------------------------------
+
+# A workload is one ops tuple per client; each op is ("write", reg, value)
+# or ("read", reg, None).
+Workload = Tuple[Tuple[Tuple[str, int, Any], ...], ...]
+
+
+@dataclass(frozen=True)
+class NetParams:
+    """The fixed shape of a net chaos run (serialized into artifacts)."""
+
+    clients: int = 2
+    replicas: int = 3
+    registers: int = 2
+    ops_per_client: int = 3
+    bound: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "replicas": self.replicas,
+            "registers": self.registers,
+            "ops_per_client": self.ops_per_client,
+            "bound": self.bound,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "NetParams":
+        return cls(
+            clients=int(data["clients"]),
+            replicas=int(data["replicas"]),
+            registers=int(data["registers"]),
+            ops_per_client=int(data["ops_per_client"]),
+            bound=float(data["bound"]),
+        )
+
+
+@dataclass
+class NetOutcome:
+    """One net chaos execution (linearizability verdict per register)."""
+
+    campaign: Campaign
+    workload: Workload
+    violations: List[ChaosViolation] = field(default_factory=list)
+    operations: int = 0
+    pending: int = 0
+    status: str = ""
+    run_seed: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"NetOutcome({status}, operations={self.operations}, "
+            f"pending={self.pending}, status={self.status})"
+        )
+
+
+def sample_net_workload(
+    campaign: Campaign, run_seed: str, params: NetParams
+) -> Workload:
+    """Draw the per-client read/write choices for one run."""
+    rng = random.Random(f"chaos:{campaign.seed}:{run_seed}:workload")
+    value = 1
+    workload: List[Tuple[Tuple[str, int, Any], ...]] = []
+    for _client in range(params.clients):
+        choices: List[Tuple[str, int, Any]] = []
+        for _ in range(params.ops_per_client):
+            if rng.random() < 0.5:
+                choices.append(("write", rng.randrange(params.registers), value))
+                value += 1
+            else:
+                choices.append(("read", rng.randrange(params.registers), None))
+        workload.append(tuple(choices))
+    return tuple(workload)
+
+
+def _net_client(
+    choices: Sequence[Tuple[str, int, Any]], registers: Sequence[Register]
+):
+    from ..spec.histories import INVOKE, RESPOND
+
+    for op_kind, reg_index, value in choices:
+        register = registers[reg_index]
+        if op_kind == "write":
+            yield ops.label(INVOKE, (register.name, "write", (value,)))
+            yield register.write(value)
+            yield ops.label(RESPOND, (register.name, None))
+        else:
+            yield ops.label(INVOKE, (register.name, "read", ()))
+            result = yield register.read()
+            yield ops.label(RESPOND, (register.name, result))
+
+
+def run_net(
+    campaign: Campaign,
+    workload: Workload,
+    params: NetParams = NetParams(),
+    run_seed: Optional[str] = None,
+) -> NetOutcome:
+    """Execute one net chaos run and check linearizability per register.
+
+    Deterministic in ``(campaign, workload, run_seed)``: the transport's
+    RNG is seeded from the campaign seed and ``run_seed``, the fault
+    environment comes from the campaign's adapters, and the workload is
+    explicit data — exactly the triple the shrinker minimizes.
+    """
+    from ..net.quorum import QuorumSystem
+    from ..spec.histories import history_from_trace, pending_from_trace
+    from ..spec.linearizability import RegisterModel, check_linearizability
+
+    if campaign.substrate != "net":
+        raise ValueError(f"expected a net campaign, got {campaign.substrate!r}")
+    if len(workload) != params.clients:
+        raise ValueError(
+            f"workload has {len(workload)} clients, params say {params.clients}"
+        )
+    registers = [Register(f"r{i}") for i in range(params.registers)]
+    programs = [_net_client(choices, registers) for choices in workload]
+    crashes = campaign.crash_schedule()
+    system = QuorumSystem(
+        params.clients,
+        replicas=params.replicas,
+        bound=params.bound,
+        seed=f"chaos:{campaign.seed}:{run_seed}:transport",
+        faults=campaign.net_plan(),
+        crashes=crashes if (campaign.crash_at or campaign.crash_after) else None,
+        max_time=200.0 * params.bound,
+    )
+    result = system.run(programs)
+    outcome = NetOutcome(
+        campaign=campaign,
+        workload=workload,
+        status=result.status.value,
+        run_seed=run_seed,
+    )
+    for register in registers:
+        history = history_from_trace(result.trace, obj=register.name)
+        pending = pending_from_trace(result.trace, obj=register.name)
+        check = check_linearizability(
+            history, RegisterModel(initial=register.initial), pending=pending
+        )
+        outcome.operations += len(history)
+        outcome.pending += len(pending)
+        if not check.ok:
+            outcome.violations.append(
+                ChaosViolation(
+                    monitor="linearizability",
+                    message=(
+                        f"register {register.name!r}: {len(history)} completed "
+                        f"+ {len(pending)} pending operations admit no legal "
+                        f"sequential order"
+                    ),
+                    step=len(history),
+                )
+            )
+    return outcome
+
+
+def run_net_campaign(
+    campaign: Campaign,
+    schedules: int = 10,
+    params: NetParams = NetParams(),
+) -> CampaignReport:
+    """Run ``schedules`` sampled workloads; stop at the first failure."""
+    report = CampaignReport(campaign=campaign)
+    for index in range(schedules):
+        run_seed = str(index)
+        workload = sample_net_workload(campaign, run_seed, params)
+        outcome = run_net(campaign, workload, params=params, run_seed=run_seed)
+        report.schedules_run += 1
+        report.total_steps += outcome.operations
+        if not outcome.ok:
+            report.failing = outcome
+            break
+    return report

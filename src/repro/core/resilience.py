@@ -122,8 +122,27 @@ def check_resilience(
         )
 
     # Convergence: after `failure_end`, when does the metric drop back
-    # under ψ for good?
+    # under ψ for good?  Convergence is only promised — and only
+    # observable — once failures actually stop: when they persist to the
+    # end of the trace (or beyond: an open-ended window) there is no
+    # failure-free suffix to certify, so the verdict is "not converged",
+    # never a vacuous pass.
     convergence_time: Optional[float]
+    if failure_end > 0 and failure_end >= trace.end_time - 1e-9:
+        violations.append(
+            "convergence: timing failures persist to the end of the trace; "
+            "no failure-free suffix to certify"
+        )
+        return ResilienceReport(
+            psi=psi,
+            delta=trace.delta,
+            safety_ok=safety_ok,
+            efficiency_value=efficiency_value,
+            efficiency_ok=efficiency_ok,
+            last_failure=failure_end,
+            convergence_time=None,
+            violations=violations,
+        )
     late_intervals = [
         (lo, hi)
         for lo, hi in unserved_intervals(trace, since=failure_end)

@@ -94,8 +94,13 @@ def merge_windows(
 
     Used to compute "the last instant at which a timing failure may occur",
     after which the convergence clock of the resilience checker starts.
+
+    Zero-length windows (``start == end``) affect no step — a step issued
+    at ``t`` is affected only when ``start <= t < end`` — so they are
+    dropped rather than surfacing as degenerate spans; exactly-abutting
+    windows (one ends where the next starts) coalesce into one span.
     """
-    spans = sorted((w.start, w.end) for w in windows)
+    spans = sorted((w.start, w.end) for w in windows if w.end > w.start)
     merged: List[Tuple[float, float]] = []
     for start, end in spans:
         if merged and start <= merged[-1][1]:
@@ -152,10 +157,11 @@ class CrashSchedule:
 
     def __post_init__(self) -> None:
         for pid, t in self.at_time.items():
-            if t < 0:
+            # `not (t >= 0)` also rejects NaN, which `t < 0` lets through.
+            if not (t >= 0):
                 raise ValueError(f"crash time for pid {pid} must be >= 0, got {t}")
         for pid, k in self.after_steps.items():
-            if k < 0:
+            if not (k >= 0):
                 raise ValueError(f"crash step for pid {pid} must be >= 0, got {k}")
 
     def crash_time(self, pid: int) -> float:

@@ -7,7 +7,7 @@ E13).
 """
 
 from .explorer import ExplorationResult, Violation, explore, replay_schedule
-from .fuzz import FuzzResult, fuzz
+from .fuzz import FuzzFailure, FuzzResult, fuzz
 from .properties import (
     AgreementProperty,
     InvariantProperty,
@@ -24,6 +24,7 @@ __all__ = [
     "replay_schedule",
     "ExplorationResult",
     "Violation",
+    "FuzzFailure",
     "FuzzResult",
     "fuzz",
     "SafetyProperty",

@@ -34,7 +34,30 @@ from .explorer import Violation
 from .properties import SafetyProperty
 from .sandbox import ProgramFactory, Sandbox
 
-__all__ = ["FuzzResult", "fuzz", "main"]
+__all__ = ["FuzzFailure", "FuzzResult", "fuzz", "main"]
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One violation plus everything needed to replay it.
+
+    ``seed_key`` is the exact string the failing run's scheduler was
+    seeded with (``random.Random(seed_key)``), so a reader can rerun the
+    schedule without reconstructing the campaign's seeding convention —
+    and the violation's recorded schedule replays it deterministically
+    through :func:`repro.verify.explorer.replay_schedule` regardless.
+    """
+
+    run_index: int
+    seed_key: str
+    violation: Violation
+
+    def replay_hint(self) -> str:
+        schedule = ",".join(str(pid) for pid in self.violation.schedule)
+        return (
+            f"replay: run {self.run_index} (Random({self.seed_key!r})) "
+            f"schedule=[{schedule}]"
+        )
 
 
 @dataclass
@@ -43,12 +66,17 @@ class FuzzResult:
 
     schedules_run: int
     steps_taken: int
-    violations: List[Violation] = field(default_factory=list)
+    failures: List[FuzzFailure] = field(default_factory=list)
     completed_runs: int = 0  # runs where every process finished
 
     @property
+    def violations(self) -> List[Violation]:
+        """The bare violations (compatibility view over ``failures``)."""
+        return [failure.violation for failure in self.failures]
+
+    @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.failures
 
     def __repr__(self) -> str:
         status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
@@ -86,9 +114,11 @@ def fuzz(
         raise ValueError(f"schedules must be >= 0, got {schedules}")
     result = FuzzResult(schedules_run=0, steps_taken=0)
     for i in range(schedules):
-        rng = random.Random(f"{seed}:{i}")
+        seed_key = f"{seed}:{i}"
+        rng = random.Random(seed_key)
         sandbox = Sandbox(factories, max_ops=max_ops)
         schedule: List[int] = []
+        fired: set = set()  # properties already reported for THIS run
         while True:
             enabled = sandbox.enabled()
             if not enabled:
@@ -102,10 +132,18 @@ def fuzz(
             schedule.append(pid)
             result.steps_taken += 1
             for prop in properties:
+                if prop.name in fired:
+                    continue  # a broken state persists; report it once per run
                 message = prop.check(sandbox)
                 if message is not None:
-                    result.violations.append(
-                        Violation(prop.name, message, tuple(schedule))
+                    fired.add(prop.name)
+                    result.failures.append(
+                        FuzzFailure(
+                            run_index=i,
+                            seed_key=seed_key,
+                            violation=Violation(prop.name, message,
+                                                tuple(schedule)),
+                        )
                     )
                     if stop_at_first_violation:
                         result.schedules_run = i + 1
@@ -207,7 +245,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failures = 0
     for name, factories, properties, kwargs, expect_violation in (
             _standard_campaigns(args.seed, args.schedules)):
-        result = fuzz(factories, properties, **kwargs)
+        # Collect EVERY violation, not just the first: a nightly failure
+        # must be actionable from the log alone.
+        result = fuzz(factories, properties,
+                      stop_at_first_violation=False, **kwargs)
         if expect_violation:
             ok = not result.ok
             expectation = "violation expected"
@@ -215,10 +256,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ok = result.ok
             expectation = "must stay safe"
         print(f"{'ok  ' if ok else 'FAIL'} {name:<14} ({expectation}): {result!r}")
+        shown = result.failures[:5]
         if not ok:
             failures += 1
-            for violation in result.violations[:3]:
-                print(f"     {violation!r}")
+        elif expect_violation:
+            shown = result.failures[:1]  # confirm the expected find is real
+        if not ok or expect_violation:
+            for failure in shown:
+                print(f"     {failure.violation!r}")
+                print(f"     {failure.replay_hint()}")
+            remaining = len(result.failures) - len(shown)
+            if remaining > 0:
+                print(f"     ... and {remaining} more violation(s)")
     return 0 if failures == 0 else 1
 
 

@@ -1,0 +1,125 @@
+"""Tests for repro artifacts: serialization, replay verification, CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos.artifact import (
+    SCHEMA_VERSION,
+    Artifact,
+    artifact_from_net,
+    artifact_from_sim,
+    load_artifact,
+    replay,
+    save_artifact,
+)
+from repro.chaos.monitors import ChaosViolation
+from repro.chaos.plan import sample_net_campaign, sample_sim_campaign
+from repro.chaos.runner import (
+    NetParams,
+    run_net,
+    run_sim_campaign,
+    sample_net_workload,
+    sim_target,
+)
+
+
+@pytest.fixture(scope="module")
+def failing_sim():
+    target = sim_target("fischer_n3")
+    campaign = sample_sim_campaign("demo-a", pids=target.pids, windows=6)
+    report = run_sim_campaign(target, campaign, schedules=20)
+    assert not report.ok
+    return report.failing
+
+
+class TestSimArtifact:
+    def test_round_trip(self, failing_sim, tmp_path):
+        artifact = artifact_from_sim("fischer_n3", failing_sim)
+        path = save_artifact(artifact, tmp_path / "a.json")
+        assert load_artifact(path) == artifact
+
+    def test_json_shape(self, failing_sim, tmp_path):
+        artifact = artifact_from_sim("fischer_n3", failing_sim)
+        path = save_artifact(artifact, tmp_path / "a.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["substrate"] == "sim"
+        assert data["target"] == "fischer_n3"
+        assert data["schedule"] == list(failing_sim.schedule)
+        assert set(data["violation"]) == {"monitor", "message", "step"}
+
+    def test_replay_reproduces(self, failing_sim, tmp_path):
+        artifact = artifact_from_sim("fischer_n3", failing_sim)
+        path = save_artifact(artifact, tmp_path / "a.json")
+        report = replay(load_artifact(path))
+        assert report.ok
+        assert report.actual == artifact.violation
+        assert "reproduced" in repr(report)
+
+    def test_replay_detects_message_drift(self, failing_sim):
+        artifact = artifact_from_sim("fischer_n3", failing_sim)
+        tampered = dataclasses.replace(
+            artifact,
+            violation=dataclasses.replace(artifact.violation,
+                                          message="something else"),
+        )
+        report = replay(tampered)
+        assert not report.ok and "drifted" in report.detail
+
+    def test_replay_detects_missing_violation(self, failing_sim):
+        artifact = artifact_from_sim("fischer_n3", failing_sim)
+        tampered = dataclasses.replace(
+            artifact,
+            violation=dataclasses.replace(artifact.violation,
+                                          monitor="agreement"),
+        )
+        report = replay(tampered)
+        assert not report.ok and "did not fire" in report.detail
+
+    def test_unsupported_schema_rejected(self, failing_sim):
+        data = artifact_from_sim("fischer_n3", failing_sim).to_dict()
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            Artifact.from_dict(data)
+
+
+class TestNetArtifact:
+    def test_round_trip_and_replay_of_synthetic_clean_miss(self, tmp_path):
+        # ABD yields no natural violation, so exercise the net artifact
+        # path with a real outcome and a synthetic expected violation:
+        # replay must report "did not fire" rather than crash.
+        params = NetParams()
+        campaign = sample_net_campaign("net-art")
+        workload = sample_net_workload(campaign, "0", params)
+        outcome = run_net(campaign, workload, params=params, run_seed="0")
+        assert outcome.ok
+        fake = ChaosViolation("linearizability", "synthetic", 3)
+        artifact = artifact_from_net(outcome, params, violation=fake)
+        path = save_artifact(artifact, tmp_path / "n.json")
+        loaded = load_artifact(path)
+        assert loaded == artifact
+        assert loaded.payload == workload
+        assert loaded.net_params == params
+        report = replay(loaded)
+        assert not report.ok and "did not fire" in report.detail
+
+    def test_provenance_recorded_from_shrink(self, tmp_path):
+        from repro.chaos.plan import sample_sim_campaign
+        from repro.chaos.runner import run_sim_campaign, sim_target
+        from repro.chaos.shrink import shrink_sim
+
+        target = sim_target("fischer_n3")
+        campaign = sample_sim_campaign("demo-a", pids=target.pids, windows=6)
+        outcome = run_sim_campaign(target, campaign, schedules=20).failing
+        shrunk = shrink_sim(target, campaign, outcome.schedule,
+                            monitor="mutual_exclusion")
+        artifact = artifact_from_sim("fischer_n3", outcome, shrunk=shrunk)
+        data = json.loads(save_artifact(artifact,
+                                        tmp_path / "p.json").read_text())
+        prov = data["provenance"]
+        assert prov["original_fault_count"] == 6
+        assert prov["shrunk_fault_count"] <= 1
+        assert prov["shrunk_payload_size"] <= prov["original_payload_size"]
+        assert prov["shrink_executions"] > 0

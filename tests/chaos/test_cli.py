@@ -1,0 +1,92 @@
+"""End-to-end tests for ``python -m repro.chaos`` and the committed artifact."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.__main__ import main
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+class TestRunCommand:
+    def test_expect_violation_with_shrink_and_artifact(self, tmp_path):
+        art_dir = tmp_path / "artifacts"
+        summary = tmp_path / "summary.json"
+        code = main([
+            "run", "--substrate", "sim", "--target", "fischer_n3",
+            "--seed", "demo-a", "--campaigns", "1", "--schedules", "20",
+            "--expect", "violation", "--shrink",
+            "--artifact-dir", str(art_dir), "--json", str(summary),
+        ])
+        assert code == 0
+        (artifact_path,) = sorted(art_dir.glob("*.json"))
+        assert main(["replay", str(artifact_path)]) == 0
+        data = json.loads(summary.read_text())
+        assert data["hits"] == 1
+        (entry,) = data["campaigns"]
+        assert entry["violation"]["monitor"] == "mutual_exclusion"
+        assert "shrink" in entry and entry["artifact"] == str(artifact_path)
+
+    def test_expect_clean_fails_on_violation(self, tmp_path):
+        code = main([
+            "run", "--substrate", "sim", "--target", "fischer_n3",
+            "--seed", "demo-a", "--campaigns", "1", "--schedules", "20",
+            "--expect", "clean",
+        ])
+        assert code == 1
+
+    def test_expect_clean_net_campaign(self):
+        code = main([
+            "run", "--substrate", "net", "--seed", "net-cli",
+            "--campaigns", "1", "--schedules", "2", "--expect", "clean",
+        ])
+        assert code == 0
+
+    def test_expect_violation_fails_when_clean(self):
+        code = main([
+            "run", "--substrate", "net", "--seed", "net-cli",
+            "--campaigns", "1", "--schedules", "1", "--expect", "violation",
+        ])
+        assert code == 1
+
+
+class TestShrinkCommand:
+    def test_reshrink_artifact_in_place(self, tmp_path):
+        art_dir = tmp_path / "artifacts"
+        assert main([
+            "run", "--substrate", "sim", "--target", "fischer_n3",
+            "--seed", "demo-a", "--campaigns", "1", "--schedules", "20",
+            "--expect", "violation", "--artifact-dir", str(art_dir),
+        ]) == 0
+        (artifact_path,) = sorted(art_dir.glob("*.json"))
+        out = tmp_path / "shrunk.json"
+        assert main(["shrink", str(artifact_path), "-o", str(out)]) == 0
+        original = json.loads(artifact_path.read_text())
+        shrunk = json.loads(out.read_text())
+        assert len(shrunk["schedule"]) <= len(original["schedule"])
+        assert len(shrunk["campaign"]["windows"]) <= 1
+        assert "re_shrink" in shrunk["provenance"]
+        assert main(["replay", str(out)]) == 0
+
+
+class TestCommittedArtifact:
+    """Tier-1 smoke: the archived Fischer violation replays byte-identically."""
+
+    PATH = ARTIFACTS / "fischer_n3_violation.json"
+
+    def test_artifact_is_committed(self):
+        assert self.PATH.is_file()
+
+    def test_replays_identically(self):
+        assert main(["replay", str(self.PATH)]) == 0
+
+    def test_artifact_content_sanity(self):
+        data = json.loads(self.PATH.read_text())
+        assert data["substrate"] == "sim"
+        assert data["target"] == "fischer_n3"
+        assert data["violation"]["monitor"] == "mutual_exclusion"
+        # the committed artifact is the *shrunk* counterexample
+        assert len(data["schedule"]) <= 10
+        assert len(data["campaign"]["windows"]) <= 1

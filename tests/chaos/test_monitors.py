@@ -1,0 +1,156 @@
+"""Tests for the online chaos monitors."""
+
+import pytest
+
+from repro.chaos.monitors import (
+    ConvergenceMonitor,
+    SafetyMonitor,
+    TraceResilienceMonitor,
+    default_monitors,
+)
+from repro.chaos.plan import Campaign, MemCorruption
+from repro.sim import ops
+from repro.sim.failures import failure_window
+from repro.sim.registers import Register
+from repro.sim.trace import EventKind, Trace, TraceEvent
+from repro.verify.properties import InvariantProperty
+from repro.verify.sandbox import Sandbox
+
+X = Register("mon", 0)
+
+
+def _writer(pid):
+    yield ops.write(X, pid + 1)
+
+
+def _spinner(pid):
+    while True:
+        yield ops.read(X)
+
+
+class TestSafetyMonitor:
+    def test_fires_once_with_property_name(self):
+        prop = InvariantProperty(lambda sb: sb.memory.peek(X) == 0,
+                                 name="x-zero", message="x moved")
+        monitor = SafetyMonitor(prop)
+        sandbox = Sandbox({0: _writer}, max_ops=5)
+        assert monitor.name == "x-zero"
+        assert monitor.on_step(sandbox, 0, frozenset()) is None
+        sandbox.step(0)
+        assert monitor.on_step(sandbox, 1, frozenset()) == "x moved"
+        # the broken state persists but the monitor stays quiet
+        assert monitor.on_step(sandbox, 2, frozenset()) is None
+
+    def test_reset_rearms(self):
+        prop = InvariantProperty(lambda sb: sb.memory.peek(X) == 0,
+                                 name="x-zero", message="x moved")
+        monitor = SafetyMonitor(prop)
+        sandbox = Sandbox({0: _writer}, max_ops=5)
+        sandbox.step(0)
+        assert monitor.on_step(sandbox, 1, frozenset()) is not None
+        monitor.reset()
+        assert monitor.on_step(sandbox, 1, frozenset()) is not None
+
+
+class TestConvergenceMonitor:
+    def _campaign(self, **kwargs):
+        return Campaign(substrate="sim", seed="m", **kwargs)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(self._campaign(), budget=0)
+
+    def test_quiet_before_budget_elapses(self):
+        campaign = self._campaign(windows=(failure_window(0.0, 10.0),))
+        monitor = ConvergenceMonitor(campaign, budget=5)
+        sandbox = Sandbox({0: _spinner}, max_ops=100)
+        assert monitor.on_step(sandbox, 14, frozenset()) is None
+
+    def test_fires_on_laggards_after_quiet_plus_budget(self):
+        campaign = self._campaign(windows=(failure_window(0.0, 10.0),))
+        monitor = ConvergenceMonitor(campaign, budget=5)
+        sandbox = Sandbox({0: _spinner}, max_ops=100)
+        message = monitor.on_step(sandbox, 15, frozenset())
+        assert message is not None and "[0]" in message
+        assert monitor.on_step(sandbox, 16, frozenset()) is None  # once
+
+    def test_halted_pids_are_not_laggards(self):
+        campaign = self._campaign(windows=(failure_window(0.0, 10.0),))
+        monitor = ConvergenceMonitor(campaign, budget=5)
+        sandbox = Sandbox({0: _spinner}, max_ops=100)
+        assert monitor.on_step(sandbox, 50, frozenset({0})) is None
+
+    def test_finalize_flags_wedged_only_under_structural_faults(self):
+        sandbox = Sandbox({0: _spinner}, max_ops=3)
+        for _ in range(3):
+            sandbox.step(0)
+        assert sandbox.suspended() == [0]
+        # pure timing windows: suspension is a cutoff, not a verdict
+        windows_only = ConvergenceMonitor(
+            self._campaign(windows=(failure_window(0.0, 1.0),)), budget=500
+        )
+        assert windows_only.finalize(sandbox, 3, frozenset()) is None
+        # a crash in the campaign makes the same suspension evidence
+        structural = ConvergenceMonitor(
+            self._campaign(crash_after=((1, 0),)), budget=500
+        )
+        assert structural.finalize(sandbox, 3, frozenset()) is not None
+        corrupting = ConvergenceMonitor(
+            self._campaign(corruptions=(MemCorruption(at=0.0, register="x"),)),
+            budget=500,
+        )
+        corrupting.reset()
+        assert corrupting.finalize(sandbox, 3, frozenset()) is not None
+
+
+def _lbl(seq, pid, kind, t):
+    return TraceEvent(seq=seq, pid=pid, kind=EventKind.LABEL, issued=t,
+                      completed=t, label=kind)
+
+
+def _session(seq0, pid, es, ce, cx, xd):
+    return [
+        _lbl(seq0, pid, ops.ENTRY_START, es),
+        _lbl(seq0 + 1, pid, ops.CS_ENTER, ce),
+        _lbl(seq0 + 2, pid, ops.CS_EXIT, cx),
+        _lbl(seq0 + 3, pid, ops.EXIT_DONE, xd),
+    ]
+
+
+class TestTraceResilienceMonitor:
+    def _trace(self):
+        trace = Trace(delta=1.0)
+        for event in _session(0, 0, 0.0, 0.5, 1.0, 1.2):
+            trace.append(event)
+        return trace
+
+    def test_clean_trace_passes_and_stores_report(self):
+        campaign = Campaign(substrate="sim", seed="m")
+        monitor = TraceResilienceMonitor(campaign, psi_deltas=2.0)
+        assert monitor.check_trace(self._trace()) is None
+        assert monitor.report is not None and monitor.report.resilient
+
+    def test_campaign_declared_failure_end_overrides_trace(self):
+        # The campaign says faults last until t=10 but the trace ends at
+        # 1.2: no failure-free suffix exists, so convergence is uncertifiable.
+        campaign = Campaign(substrate="sim", seed="m",
+                            windows=(failure_window(0.0, 10.0),))
+        monitor = TraceResilienceMonitor(campaign, psi_deltas=2.0)
+        message = monitor.check_trace(self._trace())
+        assert message is not None
+        assert not monitor.report.resilient
+
+    def test_reset_clears_report(self):
+        campaign = Campaign(substrate="sim", seed="m")
+        monitor = TraceResilienceMonitor(campaign, psi_deltas=2.0)
+        monitor.check_trace(self._trace())
+        monitor.reset()
+        assert monitor.report is None
+
+
+class TestDefaultMonitors:
+    def test_composition(self):
+        prop = InvariantProperty(lambda sb: True, name="p", message="m")
+        monitors = default_monitors([prop], Campaign(substrate="sim", seed="m"))
+        names = [m.name for m in monitors]
+        assert names == ["p", "convergence"]

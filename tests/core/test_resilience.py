@@ -127,3 +127,63 @@ class TestConsensusResilience:
                                             decided_pids=[0, 1])
         assert not report.converged
         assert any("never decided" in v for v in report.violations)
+
+
+class TestResilienceEdgeCases:
+    """The degenerate inputs the chaos monitors must be able to trust."""
+
+    def test_no_failure_windows_at_all(self):
+        # A failure-free trace: last_failure defaults to 0, convergence is
+        # immediate, and the efficiency clause judges the whole trace.
+        tr = build(session(0, 0, 0.0, 0.5, 1.0, 1.2))
+        assert not tr.timing_failures()
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert report.last_failure == 0.0
+        assert report.convergence_time == 0.0
+        assert report.resilient
+
+    def test_failures_that_never_stop(self):
+        # The trace's last exceeded step completes exactly at its end:
+        # there is no failure-free suffix, so convergence must be reported
+        # False — not crash, and not a vacuous 0.0.
+        events = session(0, 0, 0.0, 0.5, 1.0, 1.2)
+        events += [step(4, 0, 2.0, 8.0, exceeded=True)]  # runs to the end
+        tr = build(events)
+        report = check_resilience(tr, psi_deltas=2.0)
+        assert report.convergence_time is None
+        assert not report.converged
+        assert not report.resilient
+        assert any("persist" in v for v in report.violations)
+
+    def test_declared_failure_end_beyond_trace(self):
+        # A caller declaring an open-ended fault window (last_failure=inf,
+        # e.g. a campaign whose window never closes) gets the same honest
+        # verdict instead of an empty-suffix pass.
+        import math
+
+        tr = build(session(0, 0, 0.0, 0.5, 1.0, 1.2))
+        report = check_resilience(tr, psi_deltas=2.0, last_failure=math.inf)
+        assert report.convergence_time is None
+        assert not report.resilient
+
+    def test_convergence_exactly_at_trace_end(self):
+        # The long unserved interval closes exactly when the trace does:
+        # nothing failure-free follows the claimed convergence point, so it
+        # cannot be certified from this observation window.
+        events = [step(0, 0, 1.0, 4.0, exceeded=True)]
+        events += session(1, 0, 4.0, 12.0, 12.4, 12.5)  # CS_ENTER at end-ish
+        tr = build(events)
+        assert tr.end_time == pytest.approx(12.5)
+        report = check_resilience(tr, psi_deltas=2.0)
+        # The unserved interval is 4.0 -> 12.0; the trace extends past it
+        # only by the CS itself.  Convergence IS measurable here…
+        assert report.convergence_time == pytest.approx(8.0)
+        # …but when the interval end coincides with the trace end it is not.
+        truncated = [step(0, 0, 1.0, 4.0, exceeded=True)]
+        truncated += [lbl(1, 0, ops.ENTRY_START, 4.0),
+                      lbl(2, 0, ops.CS_ENTER, 12.0)]
+        tr2 = build(truncated)
+        assert tr2.end_time == pytest.approx(12.0)
+        report2 = check_resilience(tr2, psi_deltas=2.0)
+        assert report2.convergence_time is None
+        assert any("convergence" in v for v in report2.violations)

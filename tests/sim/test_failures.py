@@ -91,3 +91,52 @@ class TestCrashSchedule:
             CrashSchedule(at_time={0: -1.0})
         with pytest.raises(ValueError):
             CrashSchedule(after_steps={0: -1})
+
+
+class TestMergeWindowsDegenerate:
+    def test_zero_length_window_dropped(self):
+        # start == end affects no step (start <= t < end is empty).
+        assert merge_windows([failure_window(1.0, 1.0)]) == []
+
+    def test_zero_length_window_does_not_bridge(self):
+        spans = merge_windows([
+            failure_window(0.0, 1.0),
+            failure_window(1.5, 1.5),  # degenerate, must not appear
+            failure_window(2.0, 3.0),
+        ])
+        assert spans == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_zero_length_inside_span_is_absorbed_silently(self):
+        spans = merge_windows([
+            failure_window(0.0, 2.0),
+            failure_window(1.0, 1.0),
+        ])
+        assert spans == [(0.0, 2.0)]
+
+    def test_abutting_same_pid_windows_coalesce(self):
+        spans = merge_windows([
+            failure_window(0.0, 1.0, pids=[0]),
+            failure_window(1.0, 2.0, pids=[0]),
+            failure_window(2.0, 2.5, pids=[0]),
+        ])
+        assert spans == [(0.0, 2.5)]
+
+
+class TestCrashScheduleValidation:
+    def test_nan_crash_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(at_time={0: float("nan")})
+
+    def test_nan_crash_steps_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(after_steps={0: float("nan")})
+
+    def test_negative_still_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(at_time={3: -0.5})
+        with pytest.raises(ValueError):
+            CrashSchedule(after_steps={3: -1})
+
+    def test_zero_is_valid(self):
+        cs = CrashSchedule(at_time={0: 0.0}, after_steps={1: 0})
+        assert cs.crashes(0) and cs.crashes(1)

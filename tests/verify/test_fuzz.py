@@ -123,3 +123,53 @@ class TestOnAlgorithms:
             bias={0: 20.0, 1: 1.0},
         )
         assert res.ok
+
+
+class TestFailureCollection:
+    """Collect-all mode: every violation, each with its replay recipe."""
+
+    def _prog(self, pid):
+        v = yield ops.read(X)
+        yield ops.write(X, v + 1)
+
+    def test_collect_all_keeps_fuzzing_past_first_hit(self):
+        prop = InvariantProperty(lambda sb: sb.memory.peek(X) < 2,
+                                 name="x<2", message="x hit 2")
+        first = fuzz({0: self._prog, 1: self._prog}, [prop],
+                     schedules=50, seed=0)
+        both = fuzz({0: self._prog, 1: self._prog}, [prop],
+                    schedules=50, seed=0, stop_at_first_violation=False)
+        assert len(first.failures) == 1
+        assert first.schedules_run < 50
+        assert both.schedules_run == 50
+        assert len(both.failures) > 1
+
+    def test_each_property_fires_at_most_once_per_run(self):
+        # The broken state persists for the rest of the run; the report
+        # must not flood with one violation per subsequent step.
+        prop = InvariantProperty(lambda sb: sb.memory.peek(X) < 1,
+                                 name="x<1", message="x hit 1")
+        res = fuzz({0: self._prog, 1: self._prog}, [prop],
+                   schedules=10, seed=0, stop_at_first_violation=False)
+        assert len(res.failures) == 10  # every run trips it exactly once
+
+    def test_failure_carries_seed_key_and_replayable_schedule(self):
+        prop = InvariantProperty(lambda sb: sb.memory.peek(X) < 2,
+                                 name="x<2", message="x hit 2")
+        res = fuzz({0: self._prog, 1: self._prog}, [prop],
+                   schedules=100, seed=7, stop_at_first_violation=False)
+        assert not res.ok
+        failure = res.failures[0]
+        assert failure.seed_key == f"7:{failure.run_index}"
+        hint = failure.replay_hint()
+        assert failure.seed_key in hint and "schedule=[" in hint
+        sb = replay_schedule({0: self._prog, 1: self._prog},
+                             failure.violation.schedule, max_ops=200)
+        assert sb.memory.peek(X) == 2
+
+    def test_violations_property_mirrors_failures(self):
+        prop = InvariantProperty(lambda sb: sb.memory.peek(X) < 2,
+                                 name="x<2", message="x hit 2")
+        res = fuzz({0: self._prog, 1: self._prog}, [prop],
+                   schedules=100, seed=0, stop_at_first_violation=False)
+        assert [f.violation for f in res.failures] == res.violations
