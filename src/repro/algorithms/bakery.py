@@ -22,6 +22,7 @@ is :mod:`repro.algorithms.black_white_bakery`.
 """
 
 # repro-lint: registers-only  (the bakery uses safe/atomic registers alone)
+# repro-lint: failure-tolerant  (the bakery never consults a timing bound)
 
 from __future__ import annotations
 

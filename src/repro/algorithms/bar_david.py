@@ -35,6 +35,7 @@ steps on entry (write ``interested``, read ``turn``, read
 """
 
 # repro-lint: registers-only  (Bar-David's lock, atomic registers alone)
+# repro-lint: failure-tolerant  (correct even when every Delta bound is violated)
 
 from __future__ import annotations
 

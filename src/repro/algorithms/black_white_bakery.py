@@ -33,6 +33,7 @@ as an asynchronous baseline in experiment E7.
 """
 
 # repro-lint: registers-only  (bounded bakery, atomic registers alone)
+# repro-lint: failure-tolerant  (bounded bakery, no timing bound)
 
 from __future__ import annotations
 

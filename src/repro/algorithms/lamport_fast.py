@@ -27,6 +27,7 @@ its properties are immune to timing failures.
 """
 
 # repro-lint: registers-only  (Lamport's fast lock, atomic registers alone)
+# repro-lint: failure-tolerant  (fast path needs no timing bound)
 
 from __future__ import annotations
 

@@ -10,6 +10,7 @@ exhibit.
 """
 
 # repro-lint: registers-only  (Peterson/filter, atomic registers alone)
+# repro-lint: failure-tolerant  (correct under arbitrary timing failures)
 
 from __future__ import annotations
 

@@ -11,6 +11,7 @@ bakery (``Θ(n)``) and the fast locks in experiment E7's comparison.
 """
 
 # repro-lint: registers-only  (tournament tree of Peterson locks, registers alone)
+# repro-lint: failure-tolerant  (inherits Peterson's timing independence)
 
 from __future__ import annotations
 

@@ -190,6 +190,39 @@ def _chaos_fischer_campaign() -> Dict[str, int]:
 
 
 # ---------------------------------------------------------------------------
+# Lint scenarios: the flow analyzer over the shipped tree.
+# ---------------------------------------------------------------------------
+
+
+def _lint_flow_tree() -> Dict[str, int]:
+    """Build flow fact bases for every module under ``src/repro``.
+
+    Pure static analysis — the probe sees no engine work; the returned
+    counters are the analyzer's own deterministic sizes.  A drift in
+    ``flow_cfg_nodes``/``flow_facts`` on an unchanged tree means the CFG
+    builder or the abstract interpreter changed behaviour.
+    """
+    import os
+
+    # Imported here to keep repro.bench importable without the lint layer.
+    from ..lint import iter_python_files
+    from ..lint.context import build_context
+    from ..lint.flow import ModuleFlow
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    flows: List[ModuleFlow] = []
+    for path in sorted(iter_python_files([package_root])):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        flows.append(ModuleFlow(build_context(path, source)))
+    return {
+        "flow_files": len(flows),
+        "flow_cfg_nodes": sum(f.cfg_node_count for f in flows),
+        "flow_facts": sum(f.fact_count for f in flows),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Experiment scenarios: the paper's drivers, instrumented from outside.
 # ---------------------------------------------------------------------------
 
@@ -243,6 +276,12 @@ _REGISTRY: List[Scenario] = [
         "chaos campaign on Fischer n=3: find a violation, ddmin-shrink it",
         quick=True,
         fn=_chaos_fischer_campaign,
+    ),
+    Scenario(
+        "lint/flow_tree",
+        "flow analysis (CFG + facts) over every module in src/repro",
+        quick=True,
+        fn=_lint_flow_tree,
     ),
     Scenario(
         "experiments/e4_fastpath",

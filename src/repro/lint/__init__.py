@@ -58,12 +58,17 @@ _SKIP_DIRS = {
 
 
 def _selected_rules(
-    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+    flow: bool = False,
 ) -> List[Rule]:
     rules = all_rules()
     if select:
         wanted = set(select)
         rules = [r for r in rules if r.code in wanted]
+    elif not flow:
+        # Flow rules are opt-in (--flow) unless named explicitly.
+        rules = [r for r in rules if not r.requires_flow]
     if ignore:
         unwanted = set(ignore)
         rules = [r for r in rules if r.code not in unwanted]
@@ -91,6 +96,7 @@ def lint_source(
     path: str = "<string>",
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> List[Finding]:
     """Lint one module given as text; returns sorted findings.
 
@@ -107,13 +113,13 @@ def lint_source(
                 message=f"file does not parse: {exc.msg}",
                 path=path,
                 line=exc.lineno or 1,
-                column=(exc.offset or 1) - 1,
+                column=exc.offset or 1,
                 severity=Severity.ERROR,
                 rule="syntax",
             )
         ]
     findings: List[Finding] = []
-    for rule in _selected_rules(select, ignore):
+    for rule in _selected_rules(select, ignore, flow=flow):
         findings.extend(rule.check(ctx))
     return sorted(_apply_suppressions(ctx, findings), key=lambda f: f.sort_key)
 
@@ -122,11 +128,12 @@ def lint_file(
     path: str,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> List[Finding]:
     """Lint one file on disk."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path=path, select=select, ignore=ignore)
+    return lint_source(source, path=path, select=select, ignore=ignore, flow=flow)
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
@@ -157,9 +164,12 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; the main programmatic API."""
     findings: List[Finding] = []
     for filename in iter_python_files(paths):
-        findings.extend(lint_file(filename, select=select, ignore=ignore))
+        findings.extend(
+            lint_file(filename, select=select, ignore=ignore, flow=flow)
+        )
     return sorted(findings, key=lambda f: f.sort_key)

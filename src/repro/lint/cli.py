@@ -2,7 +2,9 @@
 
 Exit codes: 0 clean, 1 findings reported, 2 usage error.  ``--format
 json`` emits a machine-readable document for CI annotation; ``--select``
-and ``--ignore`` narrow the rule set by code.
+and ``--ignore`` narrow the rule set by code; ``--flow`` enables the
+CFG-based flow rules (TMF101...); ``--output`` writes the report to a
+file so CI can upload it as an artifact.
 """
 
 from __future__ import annotations
@@ -18,6 +20,13 @@ from .report import render_json, render_text
 
 __all__ = ["main", "build_parser"]
 
+_EPILOG = """\
+exit codes:
+  0  clean — no findings
+  1  findings reported (any severity)
+  2  usage error (bad paths, unknown rule codes, unreadable files)
+"""
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -26,6 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Static model-conformance analyzer for timing-based "
             "shared-memory algorithm programs (rules TMF001...)."
         ),
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "paths",
@@ -47,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="CODES",
         help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "enable the CFG-based flow rules (TMF101...); they build "
+            "interprocedural facts per module and are opt-in for speed"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout (CI artifacts)",
     )
     parser.add_argument(
         "--list-rules",
@@ -85,7 +109,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for filename in iter_python_files(args.paths):
         files_checked += 1
         try:
-            findings.extend(lint_file(filename, select=select, ignore=ignore))
+            findings.extend(
+                lint_file(
+                    filename, select=select, ignore=ignore, flow=args.flow
+                )
+            )
         except OSError as exc:
             print(f"error: cannot read {filename}: {exc}", file=sys.stderr)
             return 2
@@ -93,9 +121,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: no Python files found under the given paths", file=sys.stderr)
         return 2
     if args.format == "json":
-        print(render_json(findings, files_checked))
+        report = render_json(findings, files_checked)
     else:
-        print(render_text(findings, files_checked))
+        report = render_text(findings, files_checked)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print(report)
     return 1 if findings else 0
 
 

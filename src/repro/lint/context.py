@@ -16,6 +16,8 @@ Directive syntax (all as comments, anywhere on the relevant line)::
     # repro-lint: registers-only          declare module registers-only
     # repro-lint: messages-only           declare module messages-only
     # repro-lint: single-writer           annotate a register creation
+    # repro-lint: failure-tolerant        declare module Δ-independent
+    # repro-lint: quorum-n=K              declare the replica count
 
 Prose may follow a bare directive after two or more spaces or an em
 dash, so pragmas can carry their justification inline.
@@ -111,6 +113,27 @@ class ModuleContext:
         registers — the converse of ``registers-only``.
         """
         return any(d.name == "messages-only" for d in self.directives)
+
+    @property
+    def failure_tolerant(self) -> bool:
+        """True when the module claims independence from timing bounds.
+
+        A ``# repro-lint: failure-tolerant`` module implements one of the
+        paper's wait-free / timing-failure-tolerant results, so nothing
+        in it may branch or delay on a Δ-derived value (rule TMF102).
+        """
+        return any(d.name == "failure-tolerant" for d in self.directives)
+
+    @property
+    def quorum_n(self) -> Optional[int]:
+        """Declared replica count from ``# repro-lint: quorum-n=K``."""
+        for d in self.directives:
+            if d.name == "quorum-n" and d.codes:
+                try:
+                    return int(d.codes[0])
+                except ValueError:
+                    return None
+        return None
 
     def directive_lines(self, name: str) -> List[int]:
         """Lines carrying the named directive, in file order."""

@@ -37,16 +37,18 @@ class Severity(enum.Enum):
 class Finding:
     """One rule violation at one source location.
 
-    ``line`` and ``column`` are 1-based and 0-based respectively,
-    matching CPython's ``ast`` node coordinates (and every editor's
-    ``file:line:col`` convention for the rendered form).
+    ``line`` and ``column`` are both 1-based, matching flake8 and every
+    editor's ``file:line:col`` convention — the rendered text and the
+    JSON document agree.  (AST ``col_offset`` values are 0-based;
+    :meth:`repro.lint.registry.Rule.finding` does the conversion, so
+    rules keep passing raw node coordinates.)
     """
 
     code: str
     message: str
     path: str
     line: int
-    column: int = 0
+    column: int = 1
     severity: Severity = Severity.ERROR
     rule: str = ""
 
@@ -69,6 +71,6 @@ class Finding:
     def render(self) -> str:
         """The one-line human form: ``path:line:col: CODE message``."""
         return (
-            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.path}:{self.line}:{self.column}: "
             f"{self.code} [{self.severity.value}] {self.message}"
         )

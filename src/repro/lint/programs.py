@@ -253,11 +253,26 @@ class _YieldCollector(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
-        if is_op_expression(node.value):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    self.op_locals.add(target.id)
+        for target in node.targets:
+            self._bind(target, node.value)
         self.generic_visit(node)
+
+    def _bind(self, target: ast.expr, value: ast.expr) -> None:
+        """Record op-valued bindings, through tuple unpacking too.
+
+        ``a, b = reg.read(), reg.write(1)`` binds both names to ops when
+        target and value are same-length tuples, matched pairwise.
+        """
+        if isinstance(target, ast.Name):
+            if is_op_expression(value):
+                self.op_locals.add(target.id)
+        elif (
+            isinstance(target, (ast.Tuple, ast.List))
+            and isinstance(value, (ast.Tuple, ast.List))
+            and len(target.elts) == len(value.elts)
+        ):
+            for sub_target, sub_value in zip(target.elts, value.elts):
+                self._bind(sub_target, sub_value)
 
 
 def _annotation_mentions_program(node: FunctionNode) -> bool:

@@ -37,6 +37,9 @@ class Rule:
     name: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: Flow rules (TMF1xx) build CFGs and interprocedural facts; they run
+    #: only under ``--flow`` or when named explicitly via ``--select``.
+    requires_flow: bool = False
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         raise NotImplementedError
@@ -44,12 +47,13 @@ class Rule:
     def finding(
         self, ctx: ModuleContext, line: int, column: int, message: str
     ) -> Finding:
+        # ``column`` is a 0-based AST col_offset; Finding stores 1-based.
         return Finding(
             code=self.code,
             message=message,
             path=ctx.path,
             line=line,
-            column=column,
+            column=column + 1,
             severity=self.severity,
             rule=self.name,
         )

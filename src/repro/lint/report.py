@@ -29,9 +29,21 @@ def render_text(findings: Sequence[Finding], files_checked: int) -> str:
     return "\n".join(lines)
 
 
+#: Version of the JSON findings document.  Bump when a field changes
+#: meaning or shape; additive fields do not require a bump.  History:
+#: 1 — initial schema: schema/files_checked/errors/warnings/findings,
+#:     with 1-based line *and* column (flake8 convention).
+JSON_SCHEMA_VERSION = 1
+
+
 def render_json(findings: Sequence[Finding], files_checked: int) -> str:
-    """A stable JSON document (``findings`` sorted as in the text form)."""
+    """A stable, versioned JSON document (CI uploads this as an artifact).
+
+    ``findings`` is sorted as in the text form; every location is
+    1-based (line and column), matching :meth:`Finding.render`.
+    """
     doc: Dict[str, object] = {
+        "schema": JSON_SCHEMA_VERSION,
         "files_checked": files_checked,
         "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
         "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),

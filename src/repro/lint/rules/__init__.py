@@ -9,21 +9,29 @@ module here, decorating the class with
 from __future__ import annotations
 
 from . import (  # noqa: F401
+    busy_wait,
     closures,
     dead_code,
     delay_literal,
+    delta_taint,
+    interproc_writer,
     nondeterminism,
     primitives,
+    quorum_arith,
     single_writer,
     yield_discipline,
 )
 
 __all__ = [
+    "busy_wait",
     "closures",
     "dead_code",
     "delay_literal",
+    "delta_taint",
+    "interproc_writer",
     "nondeterminism",
     "primitives",
+    "quorum_arith",
     "single_writer",
     "yield_discipline",
 ]

@@ -1,0 +1,17 @@
+"""Seeded TMF101 violations: spin loops no other process can release."""
+
+
+class WedgedLock:
+    def __init__(self, ns):
+        self.x = ns.register("x", 0)
+        self.dead = ns.register("dead", 0)
+
+    def entry(self, pid):
+        while True:  # line 10: no exit at all
+            yield self.x.read()
+
+    def exit(self, pid):
+        while True:  # line 14: spins on a register nobody writes
+            value = yield self.dead.read()
+            if value == 1:
+                break

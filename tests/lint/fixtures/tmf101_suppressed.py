@@ -1,0 +1,17 @@
+"""TMF101 violations silenced per line (a justified server loop)."""
+
+
+class WedgedLock:
+    def __init__(self, ns):
+        self.x = ns.register("x", 0)
+        self.dead = ns.register("dead", 0)
+
+    def entry(self, pid):
+        while True:  # repro-lint: disable=TMF101  intentional server loop
+            yield self.x.read()
+
+    def exit(self, pid):
+        while True:  # repro-lint: disable=TMF101  released out of band
+            value = yield self.dead.read()
+            if value == 1:
+                break

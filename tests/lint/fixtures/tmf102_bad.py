@@ -1,0 +1,13 @@
+"""Seeded TMF102 violations: Δ-derived control flow in tolerant code."""
+
+# repro-lint: failure-tolerant
+
+DELTA = 1.0
+
+
+def entry(pid) -> "Program":
+    bound = DELTA * 2
+    margin = bound + 0.5
+    if margin > 1.0:  # line 11: tainted branch
+        yield ops.delay(bound)  # line 12: tainted delay duration
+    yield ops.local_work(1)

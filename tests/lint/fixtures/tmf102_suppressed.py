@@ -1,0 +1,14 @@
+"""TMF102 violations silenced for the whole file (perf hints only)."""
+
+# repro-lint: failure-tolerant
+# repro-lint: disable-file=TMF102
+
+DELTA = 1.0
+
+
+def entry(pid) -> "Program":
+    bound = DELTA * 2
+    margin = bound + 0.5
+    if margin > 1.0:
+        yield ops.delay(bound)
+    yield ops.local_work(1)

@@ -1,0 +1,18 @@
+"""Seeded TMF103 violations: sub-majority quorum thresholds."""
+
+# repro-lint: messages-only
+# repro-lint: quorum-n=5
+
+
+class HalfQuorum:
+    def __init__(self, replicas):
+        self.majority = replicas // 2  # line 9: bare floor-half
+
+    def query(self, pid) -> "Program":
+        acks = {}
+        while len(acks) < 2:  # line 13: 2 replies < majority(5) = 3
+            src, message = yield ops.recv()
+            acks[src] = message
+        while len(acks) < self.replicas // 2:  # line 16: inline floor-half
+            src, message = yield ops.recv()
+            acks[src] = message

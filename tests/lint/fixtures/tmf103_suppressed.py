@@ -1,0 +1,19 @@
+"""TMF103 violations silenced for the whole file (deliberate sub-quorum)."""
+
+# repro-lint: messages-only
+# repro-lint: quorum-n=5
+# repro-lint: disable-file=TMF103
+
+
+class HalfQuorum:
+    def __init__(self, replicas):
+        self.majority = replicas // 2
+
+    def query(self, pid) -> "Program":
+        acks = {}
+        while len(acks) < 2:
+            src, message = yield ops.recv()
+            acks[src] = message
+        while len(acks) < self.replicas // 2:
+            src, message = yield ops.recv()
+            acks[src] = message

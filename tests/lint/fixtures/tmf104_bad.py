@@ -1,0 +1,23 @@
+"""Seeded TMF104 violations: single-writer broken through `yield from`."""
+
+
+def mark(slot, i) -> "Program":
+    yield slot[i].write(True)
+
+
+def bump(reg) -> "Program":
+    yield reg.write(1)
+
+
+class DelegatingLock:
+    def __init__(self, ns):
+        self.flags = ns.array("flags", False)  # repro-lint: single-writer
+        self.owner = ns.register("owner", 0)  # repro-lint: single-writer
+
+    def entry(self, pid) -> "Program":
+        yield from mark(self.flags, pid)  # ok: own cell via helper
+        yield from mark(self.flags, 1 - pid)  # line 19: foreign cell
+        yield from bump(self.owner)  # line 20: writer root #1
+
+    def exit(self, pid) -> "Program":
+        yield from bump(self.owner)  # line 23: writer root #2

@@ -1,0 +1,25 @@
+"""TMF104 violations silenced for the whole file."""
+
+# repro-lint: disable-file=TMF104
+
+
+def mark(slot, i) -> "Program":
+    yield slot[i].write(True)
+
+
+def bump(reg) -> "Program":
+    yield reg.write(1)
+
+
+class DelegatingLock:
+    def __init__(self, ns):
+        self.flags = ns.array("flags", False)  # repro-lint: single-writer
+        self.owner = ns.register("owner", 0)  # repro-lint: single-writer
+
+    def entry(self, pid) -> "Program":
+        yield from mark(self.flags, pid)
+        yield from mark(self.flags, 1 - pid)
+        yield from bump(self.owner)
+
+    def exit(self, pid) -> "Program":
+        yield from bump(self.owner)

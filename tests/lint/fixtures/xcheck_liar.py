@@ -1,0 +1,18 @@
+"""A module whose static story is a lie (for the xcheck contradiction test).
+
+The program below only ever *reads* ``x``; the paired dynamic target in
+``test_flow_xcheck.py`` runs a program that also **writes** a register
+with the same leaf under the checked namespace.  The static access set
+of this file therefore cannot explain the observed write — exactly the
+contradiction xcheck exists to catch.
+"""
+
+
+class LiarLock:
+    def __init__(self, ns):
+        self.x = ns.register("x", 0)
+
+    def entry(self, pid) -> "Program":
+        value = yield self.x.read()
+        if value:
+            yield ops.local_work(1)

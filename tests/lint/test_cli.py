@@ -46,6 +46,7 @@ def test_empty_directory_exits_two(tmp_path, capsys):
 def test_json_output_parses(capsys):
     assert main(["--format", "json", fixture("tmf005_bad.py")]) == 1
     doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1  # versioned findings schema
     assert doc["files_checked"] == 1
     assert doc["warnings"] == 3
     assert doc["errors"] == 0
@@ -61,6 +62,42 @@ def test_select_filters_directory_run(capsys):
     assert main(["--format", "json", "--select", "TMF007", FIXTURES]) == 1
     doc = json.loads(capsys.readouterr().out)
     assert {f["code"] for f in doc["findings"]} == {"TMF007"}
+
+
+def test_output_writes_report_to_file(tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    code = main(
+        ["--format", "json", "--output", str(out_file), fixture("tmf005_bad.py")]
+    )
+    assert code == 1
+    assert capsys.readouterr().out == ""  # report went to the file
+    doc = json.loads(out_file.read_text())
+    assert doc["schema"] == 1
+    assert {f["code"] for f in doc["findings"]} == {"TMF005"}
+
+
+def test_output_to_unwritable_path_exits_two(tmp_path, capsys):
+    target = tmp_path / "missing-dir" / "report.json"
+    assert main(["--output", str(target), fixture("clean.py")]) == 2
+    assert "cannot write" in capsys.readouterr().err
+
+
+def test_flow_flag_enables_flow_rules(capsys):
+    assert main([fixture("tmf101_bad.py")]) == 0  # off by default
+    capsys.readouterr()
+    assert main(["--flow", fixture("tmf101_bad.py")]) == 1
+    assert "TMF101" in capsys.readouterr().out
+
+
+def test_help_documents_exit_codes(capsys):
+    try:
+        main(["--help"])
+    except SystemExit as exc:
+        assert exc.code == 0
+    out = capsys.readouterr().out
+    assert "exit codes:" in out
+    assert "findings reported" in out
+    assert "usage error" in out
 
 
 def test_list_rules(capsys):

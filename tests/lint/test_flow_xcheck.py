@@ -1,0 +1,91 @@
+"""The xcheck contract: registry algorithms validate, planted lies fail."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint.flow.xcheck import (
+    XCheckTarget,
+    default_targets,
+    run_target,
+    run_xcheck,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+pytestmark = pytest.mark.lint
+
+
+def test_registry_algorithms_have_no_contradictions():
+    contradictions = run_xcheck()
+    assert contradictions == [], "\n" + "\n".join(
+        c.render() for c in contradictions
+    )
+
+
+def test_every_experiment_algorithm_is_covered():
+    names = {t.name for t in default_targets()}
+    assert {
+        "fischer",
+        "peterson2",
+        "filter",
+        "tournament",
+        "bakery",
+        "black_white_bakery",
+        "lamport_fast",
+        "bar_david",
+        "at_consensus",
+        "aat_consensus",
+    } <= names
+
+
+def _liar_target() -> XCheckTarget:
+    """Static side says read-only; dynamic side writes the register."""
+    from repro.sim import ops
+    from repro.sim.registers import RegisterNamespace
+
+    def make():
+        ns = RegisterNamespace("liar")
+        reg = ns.register("x", 0)
+
+        def prog():
+            value = yield reg.read()
+            yield reg.write(value + 1)  # the unpredicted write
+
+        return [(0, prog())]
+
+    return XCheckTarget(
+        name="liar",
+        module=os.path.join(FIXTURES, "xcheck_liar.py"),
+        prefix="liar",
+        make=make,
+    )
+
+
+def test_planted_contradiction_is_caught():
+    contradictions = run_xcheck(targets=[_liar_target()])
+    assert contradictions, "xcheck accepted a static access set that lies"
+    messages = " | ".join(c.render() for c in contradictions)
+    assert "write" in messages and "'x'" in messages
+
+
+def test_idle_target_is_a_contradiction():
+    # A harness that exercises nothing must not count as validated.
+    from repro.sim import ops
+
+    def make():
+        def prog():
+            yield ops.local_work(1)
+
+        return [(0, prog())]
+
+    target = XCheckTarget(
+        name="idle",
+        module=os.path.join(FIXTURES, "xcheck_liar.py"),
+        prefix="liar",
+        make=make,
+    )
+    contradictions = run_xcheck(targets=[target])
+    assert any("touched no register" in c.message for c in contradictions)

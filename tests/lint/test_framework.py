@@ -9,7 +9,7 @@ from repro.lint.context import scan_directives
 from repro.lint.registry import resolve_codes, rules_by_code
 
 
-def test_registry_has_the_seven_rules():
+def test_registry_has_the_eleven_rules():
     codes = [rule.code for rule in all_rules()]
     assert codes == [
         "TMF001",
@@ -19,6 +19,10 @@ def test_registry_has_the_seven_rules():
         "TMF005",
         "TMF006",
         "TMF007",
+        "TMF101",
+        "TMF102",
+        "TMF103",
+        "TMF104",
     ]
 
 
@@ -39,11 +43,38 @@ def test_finding_render_and_dict():
         severity=Severity.ERROR,
         rule="yield-discipline",
     )
-    assert finding.render() == "x.py:3:5: TMF001 [error] bad yield"
+    # ``column`` is stored 1-based (flake8 convention); render echoes it.
+    assert finding.render() == "x.py:3:4: TMF001 [error] bad yield"
     as_dict = finding.to_dict()
     assert as_dict["code"] == "TMF001"
     assert as_dict["line"] == 3
+    assert as_dict["column"] == 4
     assert as_dict["severity"] == "error"
+
+
+def test_text_and_json_columns_agree_one_based():
+    # Regression: text output used to add 1 to an already-0-based column
+    # while JSON reported the raw AST offset, so the two disagreed and
+    # neither matched flake8.  A finding on the first column of a line
+    # must report column 1 in both renderings.
+    findings = lint_source('yield 42\n if True:\n', path="drift.py")
+    # the module-level yield is a syntax error -> TMF000 at 1:7 per CPython
+    (finding,) = findings
+    assert finding.code == "TMF000"
+    assert finding.column == finding.to_dict()["column"]
+    assert finding.render().startswith(
+        f"drift.py:{finding.line}:{finding.column}:"
+    )
+
+
+def test_rule_findings_are_one_based_like_flake8():
+    # ``yield 42`` at the very start of a line: flake8 would say col 5
+    # (4 spaces of indent + 1).  Both renderings must agree on that.
+    findings = lint_source(_BAD_YIELD)
+    (finding,) = findings
+    assert finding.column == 11  # "    yield 42" -> value starts at col 11
+    assert ":2:11:" in finding.render()
+    assert finding.to_dict()["column"] == 11
 
 
 def test_syntax_error_becomes_tmf000():

@@ -1,0 +1,136 @@
+"""Corner cases of program/op recognition in :mod:`repro.lint.programs`.
+
+These pin down the syntactic edges the flow layer leans on: conditional
+yields, tuple-unpacked op bindings, nested generators, and ``yield
+from`` of attribute chains.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.programs import find_programs, is_op_expression, terminal_name
+
+
+def programs_in(source: str):
+    return {p.qualname: p for p in find_programs(ast.parse(source))}
+
+
+def test_conditional_yield_is_an_op_expression():
+    expr = ast.parse("a.read() if fast else b.read()", mode="eval").body
+    assert is_op_expression(expr)
+
+
+def test_conditional_yield_with_one_non_op_arm_is_not():
+    expr = ast.parse("a.read() if fast else 42", mode="eval").body
+    assert not is_op_expression(expr)
+
+
+def test_conditional_yield_classifies_the_function_as_program():
+    progs = programs_in(
+        "def entry(pid):\n"
+        "    yield a.read() if fast else b.read()\n"
+    )
+    assert progs["entry"].is_program
+
+
+def test_tuple_unpacked_op_binding_feeds_op_locals():
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    first, second = reg.read(), reg.write(1)\n"
+        "    yield first\n"
+        "    yield second\n"
+    )
+    assert progs["entry"].op_locals == {"first", "second"}
+
+
+def test_tuple_unpacking_mixed_values_binds_only_ops():
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    op, count = reg.read(), 0\n"
+        "    yield op\n"
+    )
+    assert progs["entry"].op_locals == {"op"}
+
+
+def test_tuple_unpacking_length_mismatch_binds_nothing():
+    # ``a, b = some_pair()`` cannot be matched pairwise; no binding is
+    # recorded rather than a wrong one.
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    a, b = make_ops()\n"
+        "    yield reg.read()\n"
+    )
+    assert progs["entry"].op_locals == set()
+
+
+def test_nested_tuple_unpacking_recurses():
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    (a, b), c = (reg.read(), reg.write(1)), ops.delay(0.1)\n"
+        "    yield a\n"
+    )
+    assert progs["entry"].op_locals == {"a", "b", "c"}
+
+
+def test_nested_generator_yields_stay_in_their_scope():
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    def helper():\n"
+        "        yield reg.write(1)\n"
+        "    yield reg.read()\n"
+    )
+    assert len(progs["entry"].yields) == 1
+    assert len(progs["entry.helper"].yields) == 1
+    # The inner generator yields a real op, so it classifies as a
+    # program on its own merits (no annotation needed).
+    assert progs["entry.helper"].is_program
+
+
+def test_nested_non_op_generator_is_not_a_program():
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    def names():\n"
+        "        yield 'x'\n"
+        "    yield reg.read()\n"
+    )
+    assert not progs["entry.names"].is_program
+    assert progs["entry"].is_program
+
+
+def test_yield_from_attribute_access_is_collected():
+    # ``yield from self.inner.entry(pid)`` delegates through an
+    # attribute chain; the collector must record it and ``terminal_name``
+    # must expose the method name for resolution.
+    progs = programs_in(
+        "class Outer:\n"
+        "    def entry(self, pid) -> 'Program':\n"
+        "        yield from self.inner.entry(pid)\n"
+    )
+    info = progs["Outer.entry"]
+    (delegation,) = info.yield_froms
+    assert isinstance(delegation.value, ast.Call)
+    assert terminal_name(delegation.value.func) == "entry"
+
+
+def test_yield_from_bare_attribute_is_collected():
+    # Not a call at all: delegating to a pre-built generator held on an
+    # attribute.  Still a delegation, still collected.
+    progs = programs_in(
+        "class Outer:\n"
+        "    def entry(self, pid) -> 'Program':\n"
+        "        yield from self.pending\n"
+    )
+    (delegation,) = progs["Outer.entry"].yield_froms
+    assert terminal_name(delegation.value) == "pending"
+
+
+def test_op_local_bound_in_loop_header_is_ignored():
+    # ``for op in ...`` is not an op construction; the name must not
+    # leak into op_locals.
+    progs = programs_in(
+        "def entry(pid) -> 'Program':\n"
+        "    for op in pending:\n"
+        "        yield op\n"
+    )
+    assert progs["entry"].op_locals == set()
