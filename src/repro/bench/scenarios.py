@@ -190,6 +190,42 @@ def _chaos_fischer_campaign() -> Dict[str, int]:
 
 
 # ---------------------------------------------------------------------------
+# Parallel scenarios: the seed-sharded worker fabric.
+# ---------------------------------------------------------------------------
+
+
+def _parallel_shard_overhead() -> Dict[str, int]:
+    """Shard a Fischer fuzz campaign 4 ways in-process, then merge.
+
+    ``workers=1`` keeps execution in this process (the pickling-free
+    fallback path), so the scenario measures exactly the fabric's own
+    overhead: shard construction, sub-seed derivation, per-shard
+    dispatch, and the deterministic merge.  The counters are the
+    pipeline's deterministic sizes — a drift in ``parallel_steps`` or
+    ``parallel_merge_items`` on an unchanged tree means sharding changed
+    *what* the campaign explores, which is exactly the bug the
+    determinism contract forbids.
+    """
+    # Imported here to keep repro.bench importable without these layers.
+    from ..parallel import WorkerPool, make_shards, merge_fuzz_results
+    from ..verify.fuzz import _campaign_shard
+
+    schedules = 48
+    shards = make_shards(schedules, 4, master_seed=0)
+    with WorkerPool(1) as pool:
+        results = pool.run(_campaign_shard, shards,
+                           ("fischer_n3", 0, schedules))
+    merged = merge_fuzz_results([r.value for r in results])
+    return {
+        "parallel_shards": len(shards),
+        "parallel_shard_schedules": max(s.count for s in shards),
+        "parallel_merge_items": len(merged.failures),
+        "parallel_schedules_run": merged.schedules_run,
+        "parallel_steps": merged.steps_taken,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Lint scenarios: the flow analyzer over the shipped tree.
 # ---------------------------------------------------------------------------
 
@@ -276,6 +312,12 @@ _REGISTRY: List[Scenario] = [
         "chaos campaign on Fischer n=3: find a violation, ddmin-shrink it",
         quick=True,
         fn=_chaos_fischer_campaign,
+    ),
+    Scenario(
+        "parallel/fuzz_shard_overhead",
+        "Fischer fuzz sharded 4 ways in-process: shard + dispatch + merge",
+        quick=True,
+        fn=_parallel_shard_overhead,
     ),
     Scenario(
         "lint/flow_tree",

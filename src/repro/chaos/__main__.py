@@ -2,7 +2,11 @@
 
 Subcommands::
 
-    run     sample campaigns, execute them, optionally shrink + archive hits
+    run     sample campaigns, execute them (--workers N shards the schedule
+            range over processes with identical results), optionally
+            shrink + archive hits — shrinking and artifacts stay
+            single-process, so a parallel-found violation replays through
+            the unchanged pipeline
     shrink  re-minimize an existing artifact (e.g. one uploaded by CI)
     replay  re-execute an artifact and verify the violation byte-identically
 
@@ -68,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--expect", choices=("clean", "violation", "any"), default="any",
         help="what outcome is success (drives the exit code)",
     )
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="shard each campaign's schedule range over N "
+                          "processes; reports are identical to --workers 1 "
+                          "(default: 1)")
+    run.add_argument("--timing-json", type=Path, default=None, metavar="FILE",
+                     help="write per-shard wall/throughput telemetry here")
     run.add_argument("--shrink", action="store_true",
                      help="minimize the first failing run")
     run.add_argument("--artifact-dir", type=Path, default=None,
@@ -87,11 +97,50 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from ..parallel import WorkerPool
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     summary: Dict[str, Any] = {
         "substrate": args.substrate,
         "seed": args.seed,
         "campaigns": [],
     }
+    hits = 0
+    timing: List[Dict[str, Any]] = []
+    # One pool for the whole invocation: spawning workers (each imports
+    # the package from scratch) dominates, mapping shards is cheap.
+    pool = WorkerPool(args.workers) if args.workers > 1 else None
+    try:
+        hits = _run_campaigns(args, summary, timing, pool)
+    finally:
+        if pool is not None:
+            pool.close()
+    if args.timing_json is not None:
+        args.timing_json.parent.mkdir(parents=True, exist_ok=True)
+        args.timing_json.write_text(json.dumps(
+            {"workers": args.workers, "substrate": args.substrate,
+             "seed": args.seed, "rows": timing},
+            indent=2, sort_keys=True) + "\n")
+    summary["hits"] = hits
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"{args.campaigns} campaign(s), {hits} with violations")
+    if args.expect == "clean" and hits:
+        return 1
+    if args.expect == "violation" and not hits:
+        return 1
+    return 0
+
+
+def _run_campaigns(
+    args: argparse.Namespace,
+    summary: Dict[str, Any],
+    timing: List[Dict[str, Any]],
+    pool,
+) -> int:
     hits = 0
     for index in range(args.campaigns):
         campaign_seed = f"{args.seed}-{index}"
@@ -107,6 +156,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             report = run_sim_campaign(
                 target, campaign,
                 schedules=args.schedules, max_steps=args.max_steps,
+                workers=args.workers, pool=pool,
             )
         else:
             params = NetParams()
@@ -115,8 +165,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 replicas=params.replicas, severity=args.severity,
             )
             report = run_net_campaign(
-                campaign, schedules=args.schedules, params=params
+                campaign, schedules=args.schedules, params=params,
+                workers=args.workers, pool=pool,
             )
+        if report.shard_timing:
+            timing.extend(report.shard_timing)
         entry: Dict[str, Any] = {
             "seed": campaign_seed,
             "faults": campaign.fault_count,
@@ -169,16 +222,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 entry["artifact"] = str(path)
                 print(f"  artifact: {path}")
         summary["campaigns"].append(entry)
-    summary["hits"] = hits
-    if args.json is not None:
-        args.json.parent.mkdir(parents=True, exist_ok=True)
-        args.json.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
-    print(f"{args.campaigns} campaign(s), {hits} with violations")
-    if args.expect == "clean" and hits:
-        return 1
-    if args.expect == "violation" and not hits:
-        return 1
-    return 0
+    return hits
 
 
 def _cmd_shrink(args: argparse.Namespace) -> int:

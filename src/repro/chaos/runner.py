@@ -349,6 +349,7 @@ class CampaignReport:
     schedules_run: int = 0
     total_steps: int = 0
     failing: Optional[Any] = None  # first failing SimOutcome / NetOutcome
+    shard_timing: Optional[List[Dict[str, Any]]] = None  # telemetry only
 
     @property
     def ok(self) -> bool:
@@ -362,13 +363,85 @@ class CampaignReport:
         )
 
 
+def _sim_shard(shard, payload) -> List[Any]:
+    """Shard worker: one slice of a sim campaign's run-index range.
+
+    Module-level for the spawn pool; the target travels by *name* (its
+    build closures cannot cross a process boundary) while the frozen
+    campaign pickles as-is.  Each run is seeded by its global index
+    exactly as in the sequential loop, and the shard stops at its own
+    first failure — runs past the globally-first failure are discarded
+    by the merge, so stopping early only saves work.
+    """
+    from ..parallel.merge import RunRecord
+
+    target_name, campaign, max_steps = payload
+    target = sim_target(target_name)
+    records: List[Any] = []
+    for index in range(shard.start, shard.stop):
+        outcome = run_sim(
+            target, campaign, run_seed=str(index), max_steps=max_steps
+        )
+        records.append(
+            RunRecord(
+                index=index,
+                steps=outcome.steps,
+                outcome=None if outcome.ok else outcome,
+            )
+        )
+        if not outcome.ok:
+            break
+    return records
+
+
+def _run_campaign_sharded(
+    campaign: Campaign,
+    schedules: int,
+    worker,
+    payload,
+    workers: int,
+    pool,
+) -> CampaignReport:
+    """Common sharded path for both substrates' campaign loops."""
+    from ..parallel import WorkerPool, make_shards, timing_rows
+    from ..parallel.merge import merge_campaign_runs
+
+    shards = make_shards(schedules, workers, master_seed=str(campaign.seed))
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(workers)
+    try:
+        results = pool.run(worker, shards, payload)
+    finally:
+        if own_pool:
+            pool.close()
+    report = merge_campaign_runs(campaign, [r.value for r in results])
+    report.shard_timing = timing_rows(results, campaign=str(campaign.seed))
+    return report
+
+
 def run_sim_campaign(
     target: SimTarget,
     campaign: Campaign,
     schedules: int = 20,
     max_steps: int = DEFAULT_MAX_STEPS,
+    workers: int = 1,
+    pool=None,
 ) -> CampaignReport:
-    """Run ``schedules`` generated executions; stop at the first failure."""
+    """Run ``schedules`` generated executions; stop at the first failure.
+
+    ``workers > 1`` shards the run-index range over processes (reusing
+    ``pool``, a :class:`repro.parallel.WorkerPool`, when given).  Runs
+    are seeded by global index, so the report — failing outcome,
+    ``schedules_run``, ``total_steps`` — is identical to the sequential
+    path; only ``shard_timing`` differs.
+    """
+    if workers != 1 or pool is not None:
+        return _run_campaign_sharded(
+            campaign, schedules, _sim_shard,
+            (target.name, campaign, max_steps),
+            workers=workers if pool is None else pool.workers, pool=pool,
+        )
     report = CampaignReport(campaign=campaign)
     for index in range(schedules):
         outcome = run_sim(
@@ -546,12 +619,49 @@ def run_net(
     return outcome
 
 
+def _net_shard(shard, payload) -> List[Any]:
+    """Shard worker: one slice of a net campaign's run-index range.
+
+    Workloads are re-sampled inside the worker from the campaign seed
+    and the global run index — identical to the sequential loop's draws.
+    """
+    from ..parallel.merge import RunRecord
+
+    campaign, params = payload
+    records: List[Any] = []
+    for index in range(shard.start, shard.stop):
+        run_seed = str(index)
+        workload = sample_net_workload(campaign, run_seed, params)
+        outcome = run_net(campaign, workload, params=params, run_seed=run_seed)
+        records.append(
+            RunRecord(
+                index=index,
+                steps=outcome.operations,
+                outcome=None if outcome.ok else outcome,
+            )
+        )
+        if not outcome.ok:
+            break
+    return records
+
+
 def run_net_campaign(
     campaign: Campaign,
     schedules: int = 10,
     params: NetParams = NetParams(),
+    workers: int = 1,
+    pool=None,
 ) -> CampaignReport:
-    """Run ``schedules`` sampled workloads; stop at the first failure."""
+    """Run ``schedules`` sampled workloads; stop at the first failure.
+
+    Sharding semantics are those of :func:`run_sim_campaign`: worker
+    count never changes the report, only ``shard_timing``.
+    """
+    if workers != 1 or pool is not None:
+        return _run_campaign_sharded(
+            campaign, schedules, _net_shard, (campaign, params),
+            workers=workers if pool is None else pool.workers, pool=pool,
+        )
     report = CampaignReport(campaign=campaign)
     for index in range(schedules):
         run_seed = str(index)

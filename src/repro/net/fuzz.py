@@ -186,15 +186,24 @@ def fuzz_quorum_register(
     registers: int = 2,
     bound: float = 1.0,
     progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+    first_index: int = 0,
 ) -> NetFuzzReport:
     """Run ``schedules`` fuzzed net schedules; report linearizability.
 
     Raises nothing on violations — inspect :attr:`NetFuzzReport.ok` /
     :attr:`~NetFuzzReport.violations` (the CLI and tests turn those into
     exit codes and assertions).
+
+    ``first_index`` offsets the global schedule index: every draw (RNG
+    seed, plan-kind rotation, transport seed) derives from
+    ``first_index + local``, so a shard covering ``[first_index,
+    first_index + schedules)`` reproduces exactly that slice of the
+    sequential campaign (see :mod:`repro.parallel`).
     """
+    if first_index < 0:
+        raise ValueError(f"first_index must be >= 0, got {first_index}")
     report = NetFuzzReport(seed=seed, schedules=schedules)
-    for index in range(schedules):
+    for index in range(first_index, first_index + schedules):
         rng = random.Random(f"{seed}:{index}")
         kind = PLAN_KINDS[index % len(PLAN_KINDS)]
         faults, crashes = _make_plan(kind, rng, clients, replicas, bound)

@@ -1,0 +1,47 @@
+"""Seed-sharded worker fabric for the heavy campaign workloads.
+
+Every campaign in this repo (``repro.verify.fuzz``, ``repro.net.fuzz``,
+``repro.chaos``) is a loop over independently seeded work items.  This
+package turns that loop into a fabric:
+
+* :mod:`~repro.parallel.shard` — split the item range into contiguous
+  shards with master-seed-derived, worker-count-independent sub-seeds;
+* :mod:`~repro.parallel.pool` — run shards on a spawn-safe
+  ``multiprocessing`` pool, or entirely in-process with ``workers=1``
+  (no pickling), with per-shard wall/throughput telemetry and loud
+  worker-crash surfacing;
+* :mod:`~repro.parallel.merge` — deterministically merge shard results
+  so ``--workers N`` output is bit-identical to ``--workers 1``.
+
+The determinism contract (sharding may never change *what* a campaign
+finds, only how fast) is CI-gated: the ``parallel-determinism`` job
+byte-compares the fuzz summary JSON across worker counts, and any
+violation found in parallel replays through the unchanged single-process
+``repro.chaos`` pipeline.
+"""
+
+from .merge import (
+    RunRecord,
+    merge_campaign_runs,
+    merge_counters,
+    merge_fuzz_results,
+    merge_net_reports,
+)
+from .pool import ShardResult, WorkerError, WorkerPool, run_sharded, timing_rows
+from .shard import Shard, derive_subseeds, make_shards
+
+__all__ = [
+    "Shard",
+    "derive_subseeds",
+    "make_shards",
+    "ShardResult",
+    "WorkerError",
+    "WorkerPool",
+    "run_sharded",
+    "timing_rows",
+    "RunRecord",
+    "merge_counters",
+    "merge_fuzz_results",
+    "merge_net_reports",
+    "merge_campaign_runs",
+]

@@ -14,14 +14,21 @@ The module is also runnable — the nightly CI workflow drives the
 standard campaigns with a rotating (date-derived) seed, so every night
 hammers fresh schedules::
 
-    python -m repro.verify.fuzz --seed 20260805 --schedules 500
+    python -m repro.verify.fuzz --seed 20260805 --schedules 500 --workers 4
 
 Campaigns: Fischer n=3 (a violation MUST be found), Algorithm 3 n=4 and
 Algorithm 1 n=4 (no violation may exist).  Exit 0 when every expectation
-holds, 1 otherwise.  ``--substrate net`` fuzzes the networked
-quorum-register emulation instead (see :mod:`repro.net.fuzz`): random
-workloads under rotating fault plans, checked against the atomic-register
-linearizability spec.
+holds, 1 otherwise, 2 on usage errors (an empty campaign —
+``--schedules 0`` — is a usage error, not a vacuous pass).  ``--substrate
+net`` fuzzes the networked quorum-register emulation instead (see
+:mod:`repro.net.fuzz`): random workloads under rotating fault plans,
+checked against the atomic-register linearizability spec.
+
+``--workers N`` shards each campaign's schedule range over N processes
+via :mod:`repro.parallel`.  Because every run is seeded by its global
+index, the merged output — violation lists, summary JSON, exit code —
+is bit-identical to ``--workers 1`` on the same seed; only the
+per-worker wall/throughput telemetry (``--timing-json``) differs.
 """
 
 from __future__ import annotations
@@ -94,6 +101,7 @@ def fuzz(
     seed: int = 0,
     bias: Optional[Dict[int, float]] = None,
     stop_at_first_violation: bool = True,
+    first_index: int = 0,
 ) -> FuzzResult:
     """Run ``schedules`` random interleavings, checking safety throughout.
 
@@ -104,16 +112,26 @@ def fuzz(
     schedules:
         Number of random executions.
     seed:
-        Campaign seed; run ``i`` uses ``random.Random((seed, i))``.
+        Campaign seed; run ``i`` uses ``random.Random(f"{seed}:{i}")``.
     bias:
         Optional pid -> weight map; heavier pids are scheduled more often
         (an easy way to emulate fast/slow process mixes in the untimed
         semantics).
+    first_index:
+        Global index of the first run.  Run seeds and recorded
+        ``run_index`` values are derived from ``first_index + i``, never
+        from the local loop position, so a shard executing
+        ``[first_index, first_index + schedules)`` produces exactly the
+        sequential campaign's slice — the property
+        :mod:`repro.parallel.merge` relies on.
     """
     if schedules < 0:
         raise ValueError(f"schedules must be >= 0, got {schedules}")
+    if first_index < 0:
+        raise ValueError(f"first_index must be >= 0, got {first_index}")
     result = FuzzResult(schedules_run=0, steps_taken=0)
-    for i in range(schedules):
+    for local in range(schedules):
+        i = first_index + local
         seed_key = f"{seed}:{i}"
         rng = random.Random(seed_key)
         sandbox = Sandbox(factories, max_ops=max_ops)
@@ -146,7 +164,7 @@ def fuzz(
                         )
                     )
                     if stop_at_first_violation:
-                        result.schedules_run = i + 1
+                        result.schedules_run = local + 1
                         return result
         result.schedules_run += 1
         if all(sandbox.done(pid) for pid in factories):
@@ -203,52 +221,68 @@ def _standard_campaigns(seed: int, schedules: int):
     ]
 
 
-def _net_campaign(seed: int, schedules: int) -> int:
-    """Fuzz the networked substrate: quorum registers vs. linearizability.
+def _campaign_shard(shard, payload) -> FuzzResult:
+    """Shard worker: one standard campaign's slice of the run-index range.
 
-    Drives :func:`repro.net.fuzz.fuzz_quorum_register` — random client
-    workloads over the ABD emulation under the rotating fault plans
-    (crash-minority, delay spikes, healing partitions, loss, client
-    crashes) — and fails when any schedule's history is not explainable
-    as an atomic register.
+    Module-level (the spawn pool pickles it by reference) and rebuilt
+    from the campaign *name* — program factories close over live lock
+    objects and cannot cross a process boundary.  Every seed inside
+    :func:`fuzz` derives from the global run index via ``first_index``,
+    so the returned result is exactly the sequential campaign's slice.
     """
+    name, seed, schedules = payload
+    for cname, factories, properties, kwargs, _expect in (
+            _standard_campaigns(seed, schedules)):
+        if cname == name:
+            kwargs = dict(kwargs)
+            kwargs["schedules"] = shard.count
+            return fuzz(factories, properties,
+                        stop_at_first_violation=False,
+                        first_index=shard.start, **kwargs)
+    raise KeyError(f"unknown standard campaign {name!r}")
+
+
+def _net_shard(shard, payload):
+    """Shard worker for the networked substrate (see :mod:`repro.net.fuzz`)."""
     from ..net.fuzz import fuzz_quorum_register
 
-    report = fuzz_quorum_register(schedules=schedules, seed=seed)
-    print(report.summary())
-    for outcome in report.violations[:3]:
-        print(f"     {outcome!r}")
-    return 0 if report.ok else 1
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI driver for the standard fuzzing campaigns (see module doc)."""
-    import argparse
-
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.verify.fuzz",
-        description="Run the standard schedule-fuzzing campaigns.",
+    (seed,) = payload
+    return fuzz_quorum_register(
+        schedules=shard.count, seed=seed, first_index=shard.start
     )
-    parser.add_argument("--seed", type=int, default=0,
-                        help="campaign seed (rotate it nightly)")
-    parser.add_argument("--schedules", type=int, default=500,
-                        help="random schedules per campaign (default: 500)")
-    parser.add_argument("--substrate", choices=("registers", "net"),
-                        default="registers",
-                        help="fuzz shared-memory interleavings (default) or "
-                             "the networked quorum-register emulation")
-    args = parser.parse_args(argv)
 
-    if args.substrate == "net":
-        return _net_campaign(args.seed, args.schedules)
 
+def _failure_dict(failure: FuzzFailure) -> dict:
+    return {
+        "run_index": failure.run_index,
+        "seed_key": failure.seed_key,
+        "property": failure.violation.property_name,
+        "message": failure.violation.message,
+        "schedule": list(failure.violation.schedule),
+    }
+
+
+def _run_registers(args, pool, timing: list):
+    """The three standard campaigns, sharded; returns (exit code, summary)."""
+    from ..parallel import make_shards, merge_fuzz_results, timing_rows
+
+    summary = {
+        "substrate": "registers",
+        "seed": args.seed,
+        "schedules": args.schedules,
+        "campaigns": [],
+    }
     failures = 0
-    for name, factories, properties, kwargs, expect_violation in (
+    for name, _factories, _properties, kwargs, expect_violation in (
             _standard_campaigns(args.seed, args.schedules)):
-        # Collect EVERY violation, not just the first: a nightly failure
-        # must be actionable from the log alone.
-        result = fuzz(factories, properties,
-                      stop_at_first_violation=False, **kwargs)
+        shards = make_shards(args.schedules, args.workers,
+                             master_seed=kwargs["seed"])
+        results = pool.run(_campaign_shard, shards,
+                           (name, args.seed, args.schedules))
+        timing.extend(timing_rows(results, campaign=name))
+        # Every shard collects EVERY violation, not just the first: a
+        # nightly failure must be actionable from the log alone.
+        result = merge_fuzz_results([r.value for r in results])
         if expect_violation:
             ok = not result.ok
             expectation = "violation expected"
@@ -268,7 +302,149 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             remaining = len(result.failures) - len(shown)
             if remaining > 0:
                 print(f"     ... and {remaining} more violation(s)")
-    return 0 if failures == 0 else 1
+        summary["campaigns"].append({
+            "name": name,
+            "expectation": expectation,
+            "ok": ok,
+            "schedules_run": result.schedules_run,
+            "steps_taken": result.steps_taken,
+            "completed_runs": result.completed_runs,
+            "failures": [_failure_dict(f) for f in result.failures],
+        })
+    summary["ok"] = failures == 0
+    return (0 if failures == 0 else 1), summary
+
+
+def _run_net(args, pool, timing: list):
+    """The networked quorum-register campaign, sharded.
+
+    Random client workloads over the ABD emulation under the rotating
+    fault plans (crash-minority, delay spikes, healing partitions, loss,
+    client crashes); fails when any schedule's history is not
+    explainable as an atomic register.
+    """
+    from ..parallel import make_shards, merge_net_reports, timing_rows
+
+    shards = make_shards(args.schedules, args.workers, master_seed=args.seed)
+    results = pool.run(_net_shard, shards, (args.seed,))
+    timing.extend(timing_rows(results, campaign="net_quorum"))
+    report = merge_net_reports([r.value for r in results])
+    print(report.summary())
+    for outcome in report.violations[:3]:
+        print(f"     {outcome!r}")
+    summary = {
+        "substrate": "net",
+        "seed": args.seed,
+        "schedules": args.schedules,
+        "ok": report.ok,
+        "by_plan": [
+            {"plan": kind, "schedules": ran, "violations": bad}
+            for kind, ran, bad in report.by_plan()
+        ],
+        "violations": [
+            {
+                "index": o.index,
+                "plan": o.plan,
+                "operations": o.operations,
+                "pending": o.pending,
+                "status": o.status,
+            }
+            for o in report.violations
+        ],
+    }
+    return (0 if report.ok else 1), summary
+
+
+def _report_timing(args, timing: list) -> None:
+    """Aggregate per-worker wall/throughput; optionally persist the rows.
+
+    Telemetry only — wall times are machine-dependent, so none of this
+    ever enters the deterministic ``--json`` summary that the CI
+    ``parallel-determinism`` job byte-compares across worker counts.
+    """
+    import json
+
+    if not timing:
+        return
+    per_worker: dict = {}
+    for row in timing:
+        agg = per_worker.setdefault(
+            row["worker_pid"], {"shards": 0, "items": 0, "wall": 0.0}
+        )
+        agg["shards"] += 1
+        agg["items"] += row["items"]
+        agg["wall"] += row["wall_s"]
+    print(f"workers: {args.workers}, shards: {len(timing)}, "
+          f"schedules: {sum(row['items'] for row in timing)}")
+    for pid, agg in sorted(per_worker.items()):
+        rate = agg["items"] / agg["wall"] if agg["wall"] > 0 else 0.0
+        print(f"  worker {pid}: {agg['shards']} shard(s), "
+              f"{agg['items']} schedules, {agg['wall']:.2f}s busy, "
+              f"{rate:.1f} schedules/s")
+    if args.timing_json is not None:
+        payload = {
+            "workers": args.workers,
+            "substrate": args.substrate,
+            "seed": args.seed,
+            "schedules": args.schedules,
+            "rows": timing,
+        }
+        args.timing_json.parent.mkdir(parents=True, exist_ok=True)
+        args.timing_json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI driver for the standard fuzzing campaigns (see module doc)."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="Run the standard schedule-fuzzing campaigns.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (rotate it nightly)")
+    parser.add_argument("--schedules", type=int, default=500,
+                        help="random schedules per campaign (default: 500)")
+    parser.add_argument("--substrate", choices=("registers", "net"),
+                        default="registers",
+                        help="fuzz shared-memory interleavings (default) or "
+                             "the networked quorum-register emulation")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard each campaign's schedule range over N "
+                             "processes; output is bit-identical to "
+                             "--workers 1 on the same seed (default: 1)")
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="write the deterministic campaign summary here")
+    parser.add_argument("--timing-json", type=Path, default=None,
+                        metavar="FILE",
+                        help="write per-shard wall/throughput telemetry here")
+    args = parser.parse_args(argv)
+
+    if args.schedules <= 0:
+        parser.error(
+            f"an empty campaign explores nothing: --schedules must be "
+            f"positive, got {args.schedules}"
+        )
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    from ..parallel import WorkerPool
+
+    timing: list = []
+    with WorkerPool(args.workers) as pool:
+        if args.substrate == "net":
+            exit_code, summary = _run_net(args, pool, timing)
+        else:
+            exit_code, summary = _run_registers(args, pool, timing)
+    _report_timing(args, timing)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,26 @@
+"""Module-level shard workers for the pool tests.
+
+The spawn pool pickles workers *by reference*, so anything executed with
+``workers > 1`` must live at module level in an importable module —
+exactly the discipline :mod:`repro.parallel.pool` documents.  Keeping
+them here (not inline in the test functions) is what lets the tests
+exercise the real multi-process path.
+"""
+
+from __future__ import annotations
+
+
+def square_worker(shard, payload):
+    """Deterministic per-item values keyed by global index."""
+    return [index * index for index in range(shard.start, shard.stop)]
+
+
+def echo_subseeds_worker(shard, payload):
+    return list(shard.sub_seeds)
+
+
+def boom_worker(shard, payload):
+    """Raise on the shard whose index matches the payload."""
+    if shard.index == payload:
+        raise RuntimeError("worker exploded on purpose")
+    return shard.count

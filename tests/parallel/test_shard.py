@@ -1,0 +1,79 @@
+"""Shard layout: exact partitions, boundary seeds, worker-count invariance."""
+
+import pytest
+
+from repro.parallel import Shard, derive_subseeds, make_shards
+
+
+class TestMakeShards:
+    def test_exact_partition_no_overlap_no_gap(self):
+        shards = make_shards(10, 3)
+        assert [(s.start, s.stop) for s in shards] == [(0, 4), (4, 7), (7, 10)]
+        covered = [i for s in shards for i in range(s.start, s.stop)]
+        assert covered == list(range(10))
+
+    def test_even_split(self):
+        shards = make_shards(8, 4)
+        assert [s.count for s in shards] == [2, 2, 2, 2]
+
+    def test_fewer_items_than_workers_drops_empty_shards(self):
+        shards = make_shards(2, 8)
+        assert [(s.start, s.stop) for s in shards] == [(0, 1), (1, 2)]
+        assert all(s.count >= 1 for s in shards)
+
+    def test_zero_items_means_no_shards(self):
+        assert make_shards(0, 4) == []
+
+    def test_single_worker_is_one_full_shard(self):
+        (shard,) = make_shards(7, 1)
+        assert (shard.start, shard.stop) == (0, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_shards(5, 0)
+        with pytest.raises(ValueError):
+            make_shards(-1, 2)
+
+    def test_shard_range_validation(self):
+        with pytest.raises(ValueError):
+            Shard(index=0, start=3, stop=2)
+        with pytest.raises(ValueError):
+            Shard(index=0, start=0, stop=3, sub_seeds=(1,))
+
+    def test_describe_names_the_seed_range(self):
+        shard = make_shards(10, 3)[1]
+        assert "[4, 7)" in shard.describe()
+
+
+class TestSubSeeds:
+    def test_deterministic_in_master_seed(self):
+        assert derive_subseeds(123, 16) == derive_subseeds(123, 16)
+        assert derive_subseeds(123, 16) != derive_subseeds(124, 16)
+
+    def test_prefix_stable_under_count(self):
+        """Item i's sub-seed does not depend on how many items follow."""
+        assert derive_subseeds(9, 4) == derive_subseeds(9, 10)[:4]
+
+    def test_worker_count_never_changes_an_items_subseed(self):
+        """The determinism contract's seed half, pinned directly.
+
+        Concatenating shard sub-seeds must reproduce the master stream
+        for ANY worker count — i.e. item i sees the same sub-seed
+        whether the range was split 1, 3, or 16 ways.
+        """
+        total, master = 23, "campaign-seed"
+        reference = derive_subseeds(master, total)
+        for workers in (1, 2, 3, 5, 16, 64):
+            shards = make_shards(total, workers, master_seed=master)
+            rebuilt = tuple(
+                seed for shard in shards for seed in shard.sub_seeds
+            )
+            assert rebuilt == reference, f"workers={workers}"
+
+    def test_shard_boundary_items_keep_their_seeds(self):
+        """Boundary items (last-of-shard / first-of-next) stay aligned."""
+        reference = derive_subseeds(0, 10)
+        shards = make_shards(10, 3, master_seed=0)
+        assert shards[0].sub_seeds[-1] == reference[3]
+        assert shards[1].sub_seeds[0] == reference[4]
+        assert shards[2].sub_seeds[0] == reference[7]
