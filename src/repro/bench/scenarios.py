@@ -156,6 +156,52 @@ def _net_abd_read_write() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Observability scenarios: the structured tracer's cost and neutrality.
+# ---------------------------------------------------------------------------
+
+
+def _obs_trace_overhead() -> Dict[str, int]:
+    """The same quorum run untraced, then traced: counters must not drift.
+
+    This is the tracer's zero-perturbation contract made a regression
+    gate.  The workload runs twice under *private* probes (the runner's
+    ambient probe therefore sees no engine work, exactly like the chaos
+    and lint scenarios): the baseline untraced, the second inside a
+    :func:`~repro.obs.trace_scope`.  Any counter drift means tracing
+    changed scheduling, RNG draws, or message flow — the bug the
+    ``tracer is not None`` guards exist to prevent — and the scenario
+    fails loudly rather than reporting numbers for a perturbed run.
+    ``obs_trace_records`` regression-gates the trace's size (record
+    vocabulary changes show up here); ``obs_counter_drift`` must stay 0.
+    """
+    from repro.obs import Tracer, trace_scope
+
+    from ..sim.instrument import EngineProbe, probe_scope
+
+    def run_once() -> Dict[str, int]:
+        probe = EngineProbe()
+        reg = Register("bench_obs", 0)
+        with probe_scope(probe):
+            system = QuorumSystem(clients=2, replicas=3, bound=_DELTA, seed=5)
+            result = system.run([_abd_prog(reg, 8) for _ in range(2)])
+        assert result.completed
+        return probe.snapshot()
+
+    baseline = run_once()
+    tracer = Tracer()
+    with trace_scope(tracer):
+        traced = run_once()
+    drift = sum(1 for key in baseline if baseline[key] != traced[key])
+    assert drift == 0, f"tracing perturbed the run: {baseline} vs {traced}"
+    return {
+        "obs_trace_records": len(tracer),
+        "obs_counter_drift": drift,
+        "obs_probe_events": baseline["events"],
+        "obs_messages_sent": baseline["messages_sent"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Chaos scenarios: fault campaigns + counterexample shrinking.
 # ---------------------------------------------------------------------------
 
@@ -214,7 +260,7 @@ def _parallel_shard_overhead() -> Dict[str, int]:
     shards = make_shards(schedules, 4, master_seed=0)
     with WorkerPool(1) as pool:
         results = pool.run(_campaign_shard, shards,
-                           ("fischer_n3", 0, schedules))
+                           ("fischer_n3", 0, schedules, False))
     merged = merge_fuzz_results([r.value for r in results])
     return {
         "parallel_shards": len(shards),
@@ -306,6 +352,12 @@ _REGISTRY: List[Scenario] = [
         "E1N (reduced): networked consensus n=4, one seed",
         quick=True,
         fn=_experiment(experiments.run_e1_net, ns=(4,), seeds=(0,)),
+    ),
+    Scenario(
+        "obs/trace_overhead",
+        "one quorum run untraced vs traced: counters must match exactly",
+        quick=True,
+        fn=_obs_trace_overhead,
     ),
     Scenario(
         "chaos/fischer_campaign",

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional
 from .artifact import (
     artifact_from_net,
     artifact_from_sim,
+    attach_observability,
     load_artifact,
     replay,
     save_artifact,
@@ -93,6 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("replay", help="replay an artifact and verify")
     rep.add_argument("artifact", type=Path)
+    rep.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="write the replay's structured trace (repro.obs JSONL) here; "
+             "deterministic — same artifact, same bytes",
+    )
     return parser
 
 
@@ -217,6 +223,11 @@ def _run_campaigns(
                     artifact = artifact_from_net(
                         outcome, params, violation=violation, shrunk=shrunk
                     )
+                # Embed the observability sidecars (timeliness graph and,
+                # for net, transport counters) by re-running the archived
+                # triple under a local tracer — deterministic, so the
+                # sidecars always match what `replay --trace` reproduces.
+                artifact = attach_observability(artifact)
                 path = args.artifact_dir / f"{args.substrate}_{campaign_seed}.json"
                 save_artifact(artifact, path)
                 entry["artifact"] = str(path)
@@ -261,7 +272,17 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     artifact = load_artifact(args.artifact)
-    report = replay(artifact)
+    if args.trace is not None:
+        from repro.obs import Tracer, trace_scope, write_jsonl
+
+        tracer = Tracer()
+        with trace_scope(tracer):
+            report = replay(artifact)
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        count = write_jsonl(tracer.take(), str(args.trace))
+        print(f"trace: {count} record(s) -> {args.trace}")
+    else:
+        report = replay(artifact)
     print(report.detail)
     return 0 if report.ok else 1
 

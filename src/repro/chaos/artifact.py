@@ -16,7 +16,7 @@ artifacts diff cleanly in review and survive being archived by CI.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -38,13 +38,22 @@ __all__ = [
     "Artifact",
     "artifact_from_sim",
     "artifact_from_net",
+    "attach_observability",
     "save_artifact",
     "load_artifact",
     "ReplayReport",
     "replay",
 ]
 
-SCHEMA_VERSION = 1
+# Schema history:
+#   1 — original format (campaign, payload, violation, provenance).
+#   2 — adds optional observability sidecars: "net_stats" (transport
+#       counters of the failing run) and "timeliness" (the mined
+#       timeliness graph of the replayed trace, repro.obs.timeliness).
+#       Loading stays tolerant of schema-1 files: the sidecars are
+#       simply absent.
+SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -61,6 +70,9 @@ class Artifact:
     max_steps: int = DEFAULT_MAX_STEPS  # sim replay budget
     net_params: Optional[NetParams] = None
     provenance: Dict[str, Any] = field(default_factory=dict, compare=False)
+    # Observability sidecars (schema >= 2); never part of identity.
+    net_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
+    timeliness: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -84,15 +96,19 @@ class Artifact:
                 [list(op) for op in client_ops] for client_ops in self.payload
             ]
             data["net_params"] = (self.net_params or NetParams()).to_dict()
+        if self.net_stats is not None:
+            data["net_stats"] = dict(self.net_stats)
+        if self.timeliness is not None:
+            data["timeliness"] = self.timeliness
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Artifact":
         schema = data.get("schema")
-        if schema != SCHEMA_VERSION:
+        if schema not in _READABLE_SCHEMAS:
             raise ValueError(
                 f"unsupported artifact schema {schema!r} "
-                f"(this build reads schema {SCHEMA_VERSION})"
+                f"(this build reads schemas {_READABLE_SCHEMAS})"
             )
         substrate = data["substrate"]
         violation = ChaosViolation(
@@ -121,6 +137,8 @@ class Artifact:
             max_steps=max_steps,
             net_params=net_params,
             provenance=dict(data.get("provenance", {})),
+            net_stats=data.get("net_stats"),
+            timeliness=data.get("timeliness"),
         )
 
 
@@ -186,7 +204,46 @@ def artifact_from_net(
         run_seed=outcome.run_seed,
         net_params=params,
         provenance=_provenance(shrunk),
+        # Stats describe the archived triple; a shrunk triple's stats
+        # come from re-running it (attach_observability), not from the
+        # original unshrunk outcome.
+        net_stats=outcome.net_stats if shrunk is None else None,
     )
+
+
+def attach_observability(artifact: Artifact) -> Artifact:
+    """Re-run the artifact's triple under a local tracer and embed the
+    mined timeliness graph (plus, for net, the transport counters).
+
+    The re-run is the same deterministic replay :func:`replay` performs,
+    so the embedded report is byte-identical to what
+    ``repro.chaos replay --trace t.json`` + ``repro.obs timeliness``
+    would produce for this artifact.
+    """
+    from repro.obs import Tracer, trace_scope
+    from repro.obs.timeliness import mine_timeliness
+
+    tracer = Tracer()
+    net_stats = artifact.net_stats
+    with trace_scope(tracer):
+        if artifact.substrate == "sim":
+            run_sim(
+                sim_target(artifact.target),
+                artifact.campaign,
+                schedule=list(artifact.payload),
+                max_steps=artifact.max_steps,
+                stop_monitor=artifact.violation.monitor,
+            )
+        else:
+            outcome = run_net(
+                artifact.campaign,
+                artifact.payload,
+                params=artifact.net_params or NetParams(),
+                run_seed=artifact.run_seed,
+            )
+            net_stats = outcome.net_stats
+    report = mine_timeliness(tracer.take())
+    return dataclass_replace(artifact, net_stats=net_stats, timeliness=report)
 
 
 def save_artifact(artifact: Artifact, path: Union[str, Path]) -> Path:

@@ -50,6 +50,8 @@ from typing import (
     Tuple,
 )
 
+from repro.obs.tracer import active_tracer
+
 from ..sim import ops
 from ..sim.registers import Register
 from ..verify.properties import (
@@ -58,7 +60,7 @@ from ..verify.properties import (
     SafetyProperty,
     ValidityProperty,
 )
-from ..verify.sandbox import ProgramFactory, Sandbox
+from ..verify.sandbox import ProgramFactory, Sandbox, op_kind, op_register
 from .monitors import ChaosMonitor, ChaosViolation, default_monitors
 from .plan import Campaign
 
@@ -246,6 +248,26 @@ def run_sim(
         monitor.reset()
     sandbox = Sandbox(factories, max_ops=target.max_ops)
 
+    # Ambient tracing (repro.obs): logical-clock substrate — each shared
+    # step spans [clock, clock+1].  Pure observation; scheduling, RNG
+    # draws and monitor decisions are identical with or without it.
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.run_marker(
+            "steps",
+            target=target.name,
+            seed=campaign.seed,
+            run_seed=run_seed,
+            pids=list(target.pids),
+        )
+        for window in campaign.windows:
+            tracer.window(
+                float(window.start),
+                float(window.end),
+                None if window.pids is None else sorted(window.pids),
+                "timing",
+            )
+
     crash_at = dict(campaign.crash_at)
     crash_after = dict(campaign.crash_after)
     corruptions = sorted(campaign.corruptions, key=lambda c: c.at)
@@ -272,6 +294,8 @@ def run_sim(
                     f"target {target.name!r} declares {sorted(registers)}"
                 ) from None
             sandbox.memory.poke(handle, corruption.value)
+            if tracer is not None:
+                tracer.fault(corruption.register, float(clock))
             next_corruption += 1
 
     def refresh_halted() -> None:
@@ -280,6 +304,8 @@ def run_sim(
                 continue
             if clock >= crash_at.get(pid, inf) or sandbox.op_count(pid) >= crash_after.get(pid, inf):
                 halted.add(pid)
+                if tracer is not None:
+                    tracer.crash(pid, float(clock))
 
     def check_monitors() -> bool:
         frozen_halted = frozenset(halted)
@@ -287,6 +313,8 @@ def run_sim(
             message = monitor.on_step(sandbox, clock, frozen_halted)
             if message is not None:
                 violations.append(ChaosViolation(monitor.name, message, clock))
+                if tracer is not None:
+                    tracer.violation(monitor.name, float(clock))
                 if stop_monitor is not None and monitor.name == stop_monitor:
                     return True
         return False
@@ -305,9 +333,15 @@ def run_sim(
                 if not any(w.affects(p, clock) for w in windows)
             ]
             pid = rng.choice(free or runnable)
+            pending = sandbox.pending_op(pid) if tracer is not None else None
             sandbox.step(pid)
             recorded.append(pid)
             clock += 1
+            if tracer is not None:
+                tracer.op(
+                    op_kind(pending), pid, op_register(pending),
+                    float(clock - 1), float(clock),
+                )
             if check_monitors():
                 stopped = True
                 break
@@ -317,9 +351,15 @@ def run_sim(
             refresh_halted()
             if pid in halted or pid not in sandbox.enabled():
                 continue  # tolerant replay: skip unrunnable slots
+            pending = sandbox.pending_op(pid) if tracer is not None else None
             sandbox.step(pid)
             recorded.append(pid)
             clock += 1
+            if tracer is not None:
+                tracer.op(
+                    op_kind(pending), pid, op_register(pending),
+                    float(clock - 1), float(clock),
+                )
             if check_monitors():
                 stopped = True
                 break
@@ -331,6 +371,12 @@ def run_sim(
             message = monitor.finalize(sandbox, clock, frozen_halted)
             if message is not None:
                 violations.append(ChaosViolation(monitor.name, message, clock))
+                if tracer is not None:
+                    tracer.violation(monitor.name, float(clock))
+    if tracer is not None:
+        for pid in sorted(factories):
+            if sandbox.done(pid):
+                tracer.done(pid, float(clock))
     return SimOutcome(
         campaign=campaign,
         schedule=tuple(recorded),
@@ -505,6 +551,9 @@ class NetOutcome:
     pending: int = 0
     status: str = ""
     run_seed: Optional[str] = None
+    # Transport telemetry (NetStats.snapshot()); serialized into repro
+    # artifacts so a counterexample ships with its wire-level counters.
+    net_stats: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -580,6 +629,31 @@ def run_net(
     registers = [Register(f"r{i}") for i in range(params.registers)]
     programs = [_net_client(choices, registers) for choices in workload]
     crashes = campaign.crash_schedule()
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.run_marker(
+            "net",
+            seed=campaign.seed,
+            run_seed=run_seed,
+            pids=list(range(params.clients + params.replicas)),
+        )
+        plan = campaign.net_plan()
+        for loss in plan.losses:
+            tracer.window(
+                float(loss.start), float(loss.end),
+                None if loss.pids is None else sorted(loss.pids), "loss",
+            )
+        for spike in plan.spikes:
+            tracer.window(
+                float(spike.start), float(spike.end),
+                None if spike.pids is None else sorted(spike.pids), "spike",
+            )
+        for partition in plan.partitions:
+            tracer.window(
+                float(partition.start), float(partition.end),
+                sorted(p for group in partition.groups for p in group),
+                "partition",
+            )
     system = QuorumSystem(
         params.clients,
         replicas=params.replicas,
@@ -595,6 +669,7 @@ def run_net(
         workload=workload,
         status=result.status.value,
         run_seed=run_seed,
+        net_stats=system.transport.stats.snapshot(),
     )
     for register in registers:
         history = history_from_trace(result.trace, obj=register.name)
@@ -616,6 +691,8 @@ def run_net(
                     step=len(history),
                 )
             )
+            if tracer is not None:
+                tracer.violation("linearizability", result.end_time)
     return outcome
 
 

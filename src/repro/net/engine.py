@@ -33,6 +33,7 @@ from ..sim.registers import Memory
 from ..sim.scheduler import TieBreak
 from ..sim.timing import TimingModel
 from ..sim.trace import EventKind
+from repro.obs.tracer import Tracer
 from .transport import Transport
 
 __all__ = ["NetEngine"]
@@ -40,6 +41,8 @@ __all__ = ["NetEngine"]
 
 class NetEngine(Engine):
     """Discrete-event executor for programs that also pass messages.
+
+    Trace records from this engine carry substrate ``"net"``.
 
     Parameters (beyond :class:`~repro.sim.engine.Engine`'s)
     ----------
@@ -52,6 +55,8 @@ class NetEngine(Engine):
         from) the network.  Default: ``bound / 20`` of the transport —
         small against the delivery bound, but positive.
     """
+
+    _TRACE_SUBSTRATE = "net"
 
     def __init__(
         self,
@@ -67,6 +72,7 @@ class NetEngine(Engine):
         memory: Optional[Memory] = None,
         faults: Optional[List[MemoryFault]] = None,
         probe: Optional[EngineProbe] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         super().__init__(
             delta,
@@ -78,8 +84,13 @@ class NetEngine(Engine):
             memory=memory,
             faults=faults,
             probe=probe,
+            tracer=tracer,
         )
         self.transport = transport
+        # An explicitly-passed tracer must also see the wire: mirror it
+        # onto the transport (which defaulted to the ambient tracer).
+        if tracer is not None:
+            transport.tracer = self._tracer
         self.send_cost = send_cost if send_cost is not None else transport.bound / 20.0
         self.recv_cost = recv_cost if recv_cost is not None else transport.bound / 20.0
         if self.send_cost <= 0 or self.recv_cost <= 0:

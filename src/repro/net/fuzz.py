@@ -34,6 +34,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import Tracer, trace_scope
+
 from ..sim import ops
 from ..sim.failures import CrashSchedule
 from ..sim.process import Program
@@ -79,6 +81,10 @@ class NetFuzzReport:
     seed: Any
     schedules: int
     outcomes: List[ScheduleOutcome] = field(default_factory=list)
+    # Per-schedule trace chunks, ``(global index, records)`` — populated
+    # only under ``fuzz_quorum_register(..., trace=True)`` and merged in
+    # global-index order by :func:`repro.parallel.merge.merge_net_reports`.
+    trace_chunks: List[Tuple[int, List[Any]]] = field(default_factory=list)
 
     @property
     def violations(self) -> List[ScheduleOutcome]:
@@ -187,6 +193,7 @@ def fuzz_quorum_register(
     bound: float = 1.0,
     progress: Optional[Callable[[ScheduleOutcome], None]] = None,
     first_index: int = 0,
+    trace: bool = False,
 ) -> NetFuzzReport:
     """Run ``schedules`` fuzzed net schedules; report linearizability.
 
@@ -199,10 +206,18 @@ def fuzz_quorum_register(
     ``first_index + local``, so a shard covering ``[first_index,
     first_index + schedules)`` reproduces exactly that slice of the
     sequential campaign (see :mod:`repro.parallel`).
+
+    ``trace=True`` records every schedule as a ``repro.obs`` trace chunk
+    in :attr:`NetFuzzReport.trace_chunks` (net substrate: engine op
+    spans, message send/deliver/drop lifecycles, quorum phases, fault
+    windows).  Pure observation — the transport draws no extra RNG and
+    consumes no sequence numbers for it, so verdicts are identical with
+    or without tracing.
     """
     if first_index < 0:
         raise ValueError(f"first_index must be >= 0, got {first_index}")
     report = NetFuzzReport(seed=seed, schedules=schedules)
+    tracer = Tracer() if trace else None
     for index in range(first_index, first_index + schedules):
         rng = random.Random(f"{seed}:{index}")
         kind = PLAN_KINDS[index % len(PLAN_KINDS)]
@@ -227,7 +242,37 @@ def fuzz_quorum_register(
             crashes=crashes,
             max_time=200.0 * bound,
         )
-        result = system.run(programs)
+        if tracer is not None:
+            tracer.run_marker(
+                "net",
+                index=index,
+                plan=kind,
+                seed=seed,
+                pids=list(range(clients + replicas)),
+            )
+            for loss in faults.losses:
+                tracer.window(
+                    float(loss.start), float(loss.end),
+                    None if loss.pids is None else sorted(loss.pids), "loss",
+                )
+            for spike in faults.spikes:
+                tracer.window(
+                    float(spike.start), float(spike.end),
+                    None if spike.pids is None else sorted(spike.pids),
+                    "spike",
+                )
+            for partition in faults.partitions:
+                tracer.window(
+                    float(partition.start), float(partition.end),
+                    sorted(p for group in partition.groups for p in group),
+                    "partition",
+                )
+            # The engine (and through it the transport) binds the ambient
+            # tracer when it is built inside system.run().
+            with trace_scope(tracer):
+                result = system.run(programs)
+        else:
+            result = system.run(programs)
         linearizable = True
         operations = 0
         pending_count = 0
@@ -248,6 +293,10 @@ def fuzz_quorum_register(
             pending=pending_count,
             status=result.status.value,
         )
+        if tracer is not None:
+            if not linearizable:
+                tracer.violation("linearizability", result.end_time)
+            report.trace_chunks.append((index, tracer.take()))
         report.outcomes.append(outcome)
         if progress is not None:
             progress(outcome)

@@ -159,6 +159,9 @@ class QuorumSystem:
         req = next(self._req_ids)
         request = (_QUERY, req, name, initial)
         acks: Dict[int, Tuple[Tuple[int, int], Any]] = {}
+        tracer = self.transport.tracer
+        if tracer is not None:
+            tracer.phase(pid, "query", name, "start")
         yield ops.broadcast(request, dests=self.replica_pids)
         polls = 0
         while len(acks) < self.majority:
@@ -173,6 +176,8 @@ class QuorumSystem:
                     # (replicas answer duplicates idempotently).
                     yield ops.broadcast(request, dests=self.replica_pids)
         self.transport.stats.quorum_rtts += 1
+        if tracer is not None:
+            tracer.phase(pid, "query", name, "end")
         return max(acks.values(), key=lambda pair: pair[0])
 
     def _update(self, pid: int, name: Hashable, ts: Tuple[int, int], value: Any) -> Program:
@@ -180,6 +185,9 @@ class QuorumSystem:
         req = next(self._req_ids)
         request = (_UPDATE, req, name, ts, value)
         acked: set = set()
+        tracer = self.transport.tracer
+        if tracer is not None:
+            tracer.phase(pid, "update", name, "start")
         yield ops.broadcast(request, dests=self.replica_pids)
         polls = 0
         while len(acked) < self.majority:
@@ -192,6 +200,8 @@ class QuorumSystem:
                 if polls % self.retry_polls == 0:
                     yield ops.broadcast(request, dests=self.replica_pids)
         self.transport.stats.quorum_rtts += 1
+        if tracer is not None:
+            tracer.phase(pid, "update", name, "end")
 
     # -- the RegisterNamespace-compatible facade ----------------------------
 
@@ -300,6 +310,10 @@ class QuorumSystem:
             crashes=self.crashes,
             max_time=self.max_time,
         )
+        if self.transport.tracer is None:
+            # The system may be built outside a trace scope and run inside
+            # one; adopt whatever tracer the engine resolved.
+            self.transport.tracer = engine._tracer
         for pid, program in zip(self.client_pids, client_programs):
             engine.spawn(
                 self.emulate_registers(pid, program), pid=pid, name=f"client{pid}"

@@ -29,6 +29,8 @@ import itertools
 import random
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.tracer import active_tracer
+
 from .faults import NetFaultPlan
 
 __all__ = ["NetStats", "Transport"]
@@ -88,6 +90,13 @@ class Transport:
         timeliness-graph view where links differ in quality.
     min_factor:
         Lower edge of the nominal delay range as a fraction of the bound.
+
+    The ``tracer`` attribute (default: the ambient
+    :func:`~repro.obs.tracer.trace_scope` tracer, i.e. usually ``None``)
+    receives message-lifecycle records — send with scheduled arrival,
+    drop, collect — and quorum phase markers from
+    :mod:`repro.net.quorum`.  Tracing never touches the RNG or the
+    queues: a traced run is bit-identical to an untraced one.
     """
 
     __slots__ = (
@@ -96,6 +105,7 @@ class Transport:
         "faults",
         "stats",
         "min_factor",
+        "tracer",
         "_link_bounds",
         "_rng",
         "_queues",
@@ -122,6 +132,7 @@ class Transport:
         self.faults = faults if faults is not None else NetFaultPlan.none()
         self.stats = NetStats()
         self.min_factor = min_factor
+        self.tracer = active_tracer()
         self._link_bounds = dict(link_bounds or {})
         self._rng = random.Random(seed)
         self._queues: List[List[Tuple[float, int, int, Any]]] = [[] for _ in range(n)]
@@ -147,13 +158,16 @@ class Transport:
         self.stats.messages_sent += 1
         if self.faults.drops(src, dst, now, self._rng):
             self.stats.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.msg_drop(src, dst, now)
             return
         bound = self.link_bound(src, dst)
         nominal = self._rng.uniform(self.min_factor * bound, bound)
         delay = self.faults.delivery_delay(src, dst, now, nominal)
-        heapq.heappush(
-            self._queues[dst], (now + delay, next(self._seq), src, payload)
-        )
+        seq = next(self._seq)
+        heapq.heappush(self._queues[dst], (now + delay, seq, src, payload))
+        if self.tracer is not None:
+            self.tracer.msg_send(seq, src, dst, now, now + delay)
 
     def collect(self, dst: int, now: float) -> List[Tuple[int, Any]]:
         """Pop every message deliverable to ``dst`` by time ``now``.
@@ -162,10 +176,13 @@ class Transport:
         send sequence) — what a ``Recv`` hands back to the process.
         """
         queue = self._queues[dst]
+        tracer = self.tracer
         out: List[Tuple[int, Any]] = []
         while queue and queue[0][0] <= now:
-            _, _, src, payload = heapq.heappop(queue)
+            arrive, seq, src, payload = heapq.heappop(queue)
             out.append((src, payload))
+            if tracer is not None:
+                tracer.msg_recv(seq, src, dst, now, arrive)
         self.stats.messages_delivered += len(out)
         return out
 

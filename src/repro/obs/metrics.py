@@ -1,0 +1,217 @@
+"""Metrics over trace records: counters, gauges, fixed-bucket histograms.
+
+Everything is computed *from* a trace (list of canonical record dicts),
+never sampled live — so metrics are exactly as deterministic as the
+trace, and re-running ``repro.obs summarize`` on a stored JSONL file
+always reproduces the same numbers.
+
+The registry is small and fixed by design (mirroring EngineProbe's
+fixed counter set):
+
+* counters — record-kind totals, per-op-kind totals, timing-failure
+  (``xd``) count, crashes, drops, violations;
+* gauges — processes seen, links seen, trace duration (max timestamp);
+* histograms — per-op latency, per-link delivery delay, quorum phase
+  RTT, per-process busy-wait (delay-op) occupancy share.
+
+Histograms use fixed bucket boundaries expressed in Δ-scale time units,
+so documents from different runs are directly comparable and byte-equal
+when their traces are.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["Histogram", "compute_metrics", "format_summary"]
+
+# Fixed boundaries (Δ-scale time units).  An observation lands in the
+# first bucket whose upper edge is >= the value; the last bucket is
+# open-ended.
+_BUCKET_EDGES = (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum/min/max sidecars."""
+
+    __slots__ = ("counts", "total", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_EDGES) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = len(_BUCKET_EDGES)
+        for i, edge in enumerate(_BUCKET_EDGES):
+            if value <= edge:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.total if self.total else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "edges": list(_BUCKET_EDGES),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+def compute_metrics(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold a record stream into the metrics document (plain JSON-able dict)."""
+    kind_counts: Dict[str, int] = {}
+    op_counts: Dict[str, int] = {}
+    op_latency: Dict[str, Histogram] = {}
+    link_delay: Dict[str, Histogram] = {}
+    phase_rtt: Dict[str, Histogram] = {}
+    xd_count = 0
+    pids: set = set()
+    links: set = set()
+    max_t = 0.0
+    # Busy-wait occupancy: per-pid total delay-span time vs total op-span
+    # time — "how much of this process's schedule was spent waiting".
+    op_time: Dict[int, float] = {}
+    delay_time: Dict[int, float] = {}
+    # Quorum phase RTT needs pairing: (pid, phase) -> open start time.
+    open_phases: Dict[Any, float] = {}
+
+    for record in records:
+        kind = record.get("kind", "?")
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        for key in ("t", "t1", "arrive", "end"):
+            value = record.get(key)
+            if isinstance(value, (int, float)):
+                max_t = max(max_t, float(value))
+        if kind == "op":
+            op = record["op"]
+            pid = record["pid"]
+            pids.add(pid)
+            op_counts[op] = op_counts.get(op, 0) + 1
+            span = max(0.0, float(record["t1"]) - float(record["t0"]))
+            op_latency.setdefault(op, Histogram()).observe(span)
+            op_time[pid] = op_time.get(pid, 0.0) + span
+            if op == "delay":
+                delay_time[pid] = delay_time.get(pid, 0.0) + span
+            if record.get("xd"):
+                xd_count += 1
+        elif kind == "send":
+            link = f"{record['src']}->{record['dst']}"
+            links.add(link)
+            delay = max(0.0, float(record["arrive"]) - float(record["t"]))
+            link_delay.setdefault(link, Histogram()).observe(delay)
+        elif kind in ("recv", "drop"):
+            links.add(f"{record['src']}->{record['dst']}")
+        elif kind == "phase":
+            key = (record["pid"], record["phase"])
+            if record["edge"] == "start":
+                open_phases[key] = float(record["t"])
+            else:
+                start = open_phases.pop(key, None)
+                if start is not None:
+                    phase_rtt.setdefault(record["phase"], Histogram()).observe(
+                        max(0.0, float(record["t"]) - start)
+                    )
+        elif kind in ("label", "crash", "done"):
+            if isinstance(record.get("pid"), int) and record["pid"] >= 0:
+                pids.add(record["pid"])
+        elif kind in ("run", "engine"):
+            for pid in record.get("pids") or []:
+                if isinstance(pid, int):
+                    pids.add(pid)
+
+    busy_wait = {
+        str(pid): (delay_time.get(pid, 0.0) / op_time[pid]) if op_time.get(pid) else 0.0
+        for pid in sorted(op_time)
+    }
+    return {
+        "counters": {
+            "records": sum(kind_counts.values()),
+            "by_kind": {k: kind_counts[k] for k in sorted(kind_counts)},
+            "ops_by_kind": {k: op_counts[k] for k in sorted(op_counts)},
+            "timing_failures": xd_count,
+            "crashes": kind_counts.get("crash", 0),
+            "drops": kind_counts.get("drop", 0),
+            "violations": kind_counts.get("violation", 0),
+        },
+        "gauges": {
+            "processes": len(pids),
+            "links": len(links),
+            "duration": max_t,
+        },
+        "histograms": {
+            "op_latency": {k: op_latency[k].to_dict() for k in sorted(op_latency)},
+            "link_delivery_delay": {
+                k: link_delay[k].to_dict() for k in sorted(link_delay)
+            },
+            "quorum_phase_rtt": {
+                k: phase_rtt[k].to_dict() for k in sorted(phase_rtt)
+            },
+        },
+        "busy_wait_occupancy": busy_wait,
+    }
+
+
+def _histogram_line(name: str, data: Dict[str, Any]) -> str:
+    mean = data["mean"]
+    mean_text = "-" if mean is None else f"{mean:.4g}"
+    max_text = "-" if data["max"] is None else f"{data['max']:.4g}"
+    return (
+        f"  {name:<24} n={data['total']:<6} mean={mean_text:<8} max={max_text}"
+    )
+
+
+def format_summary(metrics: Dict[str, Any]) -> str:
+    """Human-readable rendering of a metrics document."""
+    counters = metrics["counters"]
+    gauges = metrics["gauges"]
+    lines: List[str] = []
+    lines.append(
+        f"records {counters['records']}  processes {gauges['processes']}  "
+        f"links {gauges['links']}  duration {gauges['duration']:.4g}"
+    )
+    by_kind = counters["by_kind"]
+    lines.append(
+        "kinds   " + "  ".join(f"{k}={by_kind[k]}" for k in sorted(by_kind))
+    )
+    if counters["ops_by_kind"]:
+        ops = counters["ops_by_kind"]
+        lines.append(
+            "ops     " + "  ".join(f"{k}={ops[k]}" for k in sorted(ops))
+        )
+    lines.append(
+        f"timing failures {counters['timing_failures']}  "
+        f"crashes {counters['crashes']}  drops {counters['drops']}  "
+        f"violations {counters['violations']}"
+    )
+    for title, table in (
+        ("op latency", metrics["histograms"]["op_latency"]),
+        ("link delivery delay", metrics["histograms"]["link_delivery_delay"]),
+        ("quorum phase RTT", metrics["histograms"]["quorum_phase_rtt"]),
+    ):
+        if table:
+            lines.append(f"{title}:")
+            for name in sorted(table):
+                lines.append(_histogram_line(name, table[name]))
+    occupancy = metrics["busy_wait_occupancy"]
+    if occupancy:
+        lines.append(
+            "busy-wait occupancy: "
+            + "  ".join(
+                f"p{pid}={occupancy[pid]:.1%}" for pid in sorted(occupancy, key=int)
+            )
+        )
+    return "\n".join(lines)

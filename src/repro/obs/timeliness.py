@@ -1,0 +1,280 @@
+"""Timeliness-graph extraction from trace records.
+
+Delporte-Gallet et al. ("Algorithms For Extracting Timeliness Graphs")
+treat observed message delays as data: a link is *Δ-timely* in a run if
+every delay observed on it stays ≤ Δ.  The set of timely links — the
+timeliness graph — is the timing structure the run actually exhibited,
+which is exactly what ``optimistic(Δ)`` adaptation wants to consume and
+what a shrunk chaos counterexample needs to ship with ("which links did
+the adversary have to make slow?").
+
+Delay observations come from whichever substrate the trace records:
+
+* ``net``   — transport message lifecycles: link ``"src->dst"``, delay
+  = scheduled arrival − send instant (drops count as an untimely
+  observation at +inf: a lost message is slower than any Δ);
+* ``sim``   — timed engine op spans: "link" ``"p<pid>"`` (the paper's
+  process-to-memory step, whose bound is the Δ of the model), delay
+  = op duration;
+* ``steps`` — logical-clock sandbox runs: "link" ``"p<pid>"``, delay =
+  the gap (in shared steps) between consecutive completions by that
+  pid, including the gap from run start to its first step.  A pid that
+  never steps over a positive span is **starved** — untimely at every
+  candidate Δ.  This is the mode chaos sim artifacts use: an adversarial
+  schedule IS a pattern of per-process step gaps.
+
+The miner reports, for each candidate Δ (the sorted distinct per-link
+maxima, plus any explicit override): which links are timely.  With no
+override it *chooses* the smallest candidate that keeps at least half
+of the links timely — the tightest Δ under which a majority of the
+system behaved synchronously — and reports the rest as untimely, i.e.
+the links the timing adversary controlled.  Fault-window markers in the
+trace are then correlated: a window's affected links are those matching
+its pid set whose observations inside (or at) the window exceeded the
+chosen Δ or which were starved outright.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["delay_observations", "mine_timeliness", "format_timeliness"]
+
+_INF = float("inf")
+
+
+def _observations_net(records: List[Dict[str, Any]]) -> Dict[str, List[Tuple[float, float]]]:
+    observations: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "send":
+            link = f"{record['src']}->{record['dst']}"
+            delay = max(0.0, float(record["arrive"]) - float(record["t"]))
+            observations.setdefault(link, []).append((float(record["t"]), delay))
+        elif kind == "drop":
+            link = f"{record['src']}->{record['dst']}"
+            observations.setdefault(link, []).append((float(record["t"]), _INF))
+    return observations
+
+
+def _observations_sim(records: List[Dict[str, Any]]) -> Dict[str, List[Tuple[float, float]]]:
+    observations: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        if record.get("kind") != "op" or record.get("op") == "delay":
+            # delay(d) spans are intentional waits, not steps racing Δ.
+            continue
+        pid = record["pid"]
+        span = max(0.0, float(record["t1"]) - float(record["t0"]))
+        observations.setdefault(f"p{pid}", []).append((float(record["t0"]), span))
+    return observations
+
+
+def _observations_steps(records: List[Dict[str, Any]]) -> Dict[str, List[Tuple[float, float]]]:
+    # Every pid named anywhere participates; a pid with a run marker but
+    # no ops still gets a (possibly starved) link.
+    pids: set = set()
+    last_step: Dict[int, float] = {}
+    observations: Dict[str, List[Tuple[float, float]]] = {}
+    horizon = 0.0
+    for record in records:
+        kind = record.get("kind")
+        if kind == "run":
+            for pid in record.get("pids") or []:
+                pids.add(pid)
+        elif kind == "op":
+            pid = record["pid"]
+            pids.add(pid)
+            t1 = float(record["t1"])
+            horizon = max(horizon, t1)
+            gap = t1 - last_step.get(pid, 0.0)
+            observations.setdefault(f"p{pid}", []).append(
+                (float(record["t0"]), gap)
+            )
+            last_step[pid] = t1
+        elif kind in ("crash", "done"):
+            if isinstance(record.get("pid"), int) and record["pid"] >= 0:
+                pids.add(record["pid"])
+                # Completion closes the pid's obligation to keep stepping.
+                last_step[record["pid"]] = float(record.get("t", 0.0))
+        elif kind == "violation":
+            horizon = max(horizon, float(record.get("t", 0.0)))
+    for pid in sorted(pids):
+        link = f"p{pid}"
+        if link not in observations and horizon > last_step.get(pid, 0.0):
+            # Never scheduled over a positive span: starved.
+            observations[link] = [(0.0, _INF)]
+    return observations
+
+
+def delay_observations(
+    records: List[Dict[str, Any]], substrate: Optional[str] = None
+) -> Tuple[str, Dict[str, List[Tuple[float, float]]]]:
+    """Extract per-link ``(time, delay)`` observations from a trace.
+
+    Returns ``(substrate, {link: [(t, delay), ...]})``.  When
+    ``substrate`` is None it is inferred: message records ⇒ ``net``,
+    else the first run/engine marker's declared substrate, else ``sim``.
+    """
+    if substrate is None:
+        if any(r.get("kind") in ("send", "recv", "drop") for r in records):
+            substrate = "net"
+        else:
+            substrate = "sim"
+            for record in records:
+                if record.get("kind") in ("run", "engine") and record.get("substrate"):
+                    substrate = str(record["substrate"])
+                    break
+    if substrate == "net":
+        return "net", _observations_net(records)
+    if substrate == "steps":
+        return "steps", _observations_steps(records)
+    return "sim", _observations_sim(records)
+
+
+def _windows_of(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [r for r in records if r.get("kind") == "window"]
+
+
+def _link_pids(link: str) -> List[int]:
+    if "->" in link:
+        src, dst = link.split("->", 1)
+        return [int(src), int(dst)]
+    return [int(link[1:])]
+
+
+def mine_timeliness(
+    records: List[Dict[str, Any]],
+    substrate: Optional[str] = None,
+    delta: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Mine a trace into a timeliness-graph report (JSON-able dict)."""
+    substrate, observations = delay_observations(records, substrate)
+    links: Dict[str, Dict[str, Any]] = {}
+    for link in sorted(observations):
+        delays = [d for _, d in observations[link]]
+        finite = [d for d in delays if d != _INF]
+        links[link] = {
+            "observations": len(delays),
+            "starved": bool(delays) and not finite,
+            "dropped": sum(1 for d in delays if d == _INF),
+            "max_delay": max(finite) if finite else None,
+            "mean_delay": (sum(finite) / len(finite)) if finite else None,
+        }
+
+    finite_maxima = sorted(
+        {links[l]["max_delay"] for l in links if links[l]["max_delay"] is not None}
+    )
+    candidates: List[Dict[str, Any]] = []
+    for candidate in finite_maxima:
+        timely = [
+            l
+            for l in sorted(links)
+            if not links[l]["starved"]
+            and links[l]["dropped"] == 0
+            and links[l]["max_delay"] is not None
+            and links[l]["max_delay"] <= candidate
+        ]
+        candidates.append(
+            {"delta": candidate, "timely": timely, "timely_count": len(timely)}
+        )
+
+    if delta is not None:
+        chosen = float(delta)
+    else:
+        # Tightest Δ keeping a majority of links timely; falls back to
+        # the largest finite maximum (everything non-starved timely).
+        chosen = finite_maxima[-1] if finite_maxima else 0.0
+        need = max(1, (len(links) + 1) // 2)
+        for entry in candidates:
+            if entry["timely_count"] >= need:
+                chosen = entry["delta"]
+                break
+
+    timely: List[str] = []
+    untimely: List[str] = []
+    for link in sorted(links):
+        info = links[link]
+        is_timely = (
+            not info["starved"]
+            and info["dropped"] == 0
+            and info["max_delay"] is not None
+            and info["max_delay"] <= chosen + 1e-12
+        )
+        (timely if is_timely else untimely).append(link)
+
+    window_reports: List[Dict[str, Any]] = []
+    for window in _windows_of(records):
+        start, end = float(window["start"]), float(window["end"])
+        window_pids = window.get("pids")
+        affected: List[str] = []
+        for link in sorted(links):
+            pids = _link_pids(link)
+            if window_pids is not None and not any(p in window_pids for p in pids):
+                continue
+            if links[link]["starved"]:
+                affected.append(link)
+                continue
+            for t, d in observations[link]:
+                if start <= t <= end and (d == _INF or d > chosen + 1e-12):
+                    affected.append(link)
+                    break
+        window_reports.append(
+            {
+                "fault": window.get("fault"),
+                "start": start,
+                "end": end,
+                "pids": window_pids,
+                "affected_links": affected,
+            }
+        )
+
+    return {
+        "substrate": substrate,
+        "delta": chosen,
+        "delta_source": "explicit" if delta is not None else "mined",
+        "links": links,
+        "candidates": candidates,
+        "timely": timely,
+        "untimely": untimely,
+        "windows": window_reports,
+    }
+
+
+def format_timeliness(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a timeliness report."""
+    lines: List[str] = []
+    lines.append(
+        f"substrate {report['substrate']}  "
+        f"delta {report['delta']:.6g} ({report['delta_source']})"
+    )
+    links = report["links"]
+    for link in sorted(links):
+        info = links[link]
+        if info["starved"]:
+            detail = "STARVED"
+        else:
+            max_text = (
+                "-" if info["max_delay"] is None else f"{info['max_delay']:.4g}"
+            )
+            detail = f"n={info['observations']} max={max_text}"
+            if info["dropped"]:
+                detail += f" dropped={info['dropped']}"
+        mark = "timely  " if link in report["timely"] else "UNTIMELY"
+        lines.append(f"  {link:<10} {mark} {detail}")
+    lines.append(
+        f"timely {len(report['timely'])}/{len(links)}: "
+        + (", ".join(report["timely"]) or "-")
+    )
+    if report["untimely"]:
+        lines.append("untimely: " + ", ".join(report["untimely"]))
+    for window in report["windows"]:
+        pid_text = (
+            "all" if window["pids"] is None else ",".join(map(str, window["pids"]))
+        )
+        lines.append(
+            f"window {window['fault']} [{window['start']:.4g}, "
+            f"{window['end']:.4g}] pids={pid_text} affected: "
+            + (", ".join(window["affected_links"]) or "-")
+        )
+    return "\n".join(lines)

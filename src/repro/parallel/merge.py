@@ -72,7 +72,10 @@ def merge_fuzz_results(parts: Sequence[Any]) -> Any:
     Failures are ordered by ``(run_index, within-run discovery order)``
     — the sort is stable and each shard already lists its failures in
     discovery order — and the work counters are summed, reproducing the
-    sequential collect-all run exactly.
+    sequential collect-all run exactly.  Trace chunks (present when the
+    shards ran with ``trace=True``) are likewise reassembled in global
+    run-index order, so the concatenated JSONL is byte-identical to the
+    single-worker trace.
     """
     from ..verify.fuzz import FuzzResult
 
@@ -82,7 +85,9 @@ def merge_fuzz_results(parts: Sequence[Any]) -> Any:
         merged.steps_taken += part.steps_taken
         merged.completed_runs += part.completed_runs
         merged.failures.extend(part.failures)
+        merged.trace_chunks.extend(part.trace_chunks)
     merged.failures.sort(key=lambda failure: failure.run_index)
+    merged.trace_chunks.sort(key=lambda chunk: chunk[0])
     return merged
 
 
@@ -98,7 +103,9 @@ def merge_net_reports(parts: Sequence[Any]) -> Any:
     )
     for part in parts:
         merged.outcomes.extend(part.outcomes)
+        merged.trace_chunks.extend(part.trace_chunks)
     merged.outcomes.sort(key=lambda outcome: outcome.index)
+    merged.trace_chunks.sort(key=lambda chunk: chunk[0])
     return merged
 
 

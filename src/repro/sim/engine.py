@@ -31,6 +31,8 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.tracer import Tracer, active_tracer
+
 from .clock import VirtualClock
 from .failures import CrashSchedule, MemoryFault
 from .instrument import EngineProbe, active_probe
@@ -131,6 +133,9 @@ FAULT_PID = -1
 class Engine:
     """Discrete-event executor for generator programs.
 
+    Class attribute ``_TRACE_SUBSTRATE`` names the substrate in emitted
+    trace records (overridden by :class:`repro.net.NetEngine`).
+
     Parameters
     ----------
     delta:
@@ -153,7 +158,15 @@ class Engine:
         deterministic work counters.  Defaults to the ambient
         :func:`~repro.sim.instrument.probe_scope` probe, i.e. ``None``
         outside any scope — in which case instrumentation costs nothing.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` receiving structured
+        span/event records.  Defaults to the ambient
+        :func:`~repro.obs.tracer.trace_scope` tracer, i.e. ``None``
+        outside any scope.  Tracing is pure observation: a traced run is
+        bit-identical to an untraced one.
     """
+
+    _TRACE_SUBSTRATE = "sim"
 
     def __init__(
         self,
@@ -166,6 +179,7 @@ class Engine:
         memory: Optional[Memory] = None,
         faults: Optional[List[MemoryFault]] = None,
         probe: Optional[EngineProbe] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if delta <= 0:
             raise ValueError(f"delta must be positive, got {delta}")
@@ -186,6 +200,9 @@ class Engine:
         self.total_shared_steps = 0
         self._ran = False
         self._probe = probe if probe is not None else active_probe()
+        self._tracer = tracer if tracer is not None else active_tracer()
+        if self._tracer is not None:
+            self._tracer.bind_clock(self.clock)
         # FifoTieBreak priorities are just the issue sequence number; skip
         # the method call and the 1-tuple per push for the default policy.
         self._fifo = type(self.tie_break) is FifoTieBreak
@@ -248,6 +265,11 @@ class Engine:
         if self._ran:
             raise RuntimeError("Engine.run() may only be called once")
         self._ran = True
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.engine_run(
+                self._TRACE_SUBSTRATE, self.delta, list(self.processes)
+            )
         status = RunStatus.COMPLETED
         # The event loop is the simulator's hot path: bind everything it
         # touches per event to locals once, and order the action checks by
@@ -291,6 +313,8 @@ class Engine:
                         value=fault.value,
                     )
                 )
+                if tracer is not None:
+                    tracer.fault(fault.register.name, time)
                 continue
             proc = processes[pid]
             if action == _CRASH:
@@ -346,6 +370,8 @@ class Engine:
                 completed=now,
             )
         )
+        if self._tracer is not None:
+            self._tracer.crash(proc.pid, now)
         proc.program.close()
 
     def _complete(self, proc: Process, op: Optional[Op], issued: float, now: float) -> None:
@@ -396,6 +422,8 @@ class Engine:
                         value=stop.value,
                     )
                 )
+                if self._tracer is not None:
+                    self._tracer.done(proc.pid, now)
                 return
             except Exception as exc:
                 proc.state = ProcessState.FAILED
@@ -416,6 +444,8 @@ class Engine:
                         label=op.kind,
                     )
                 )
+                if self._tracer is not None:
+                    self._tracer.label(proc.pid, op.kind, now)
                 proc.total_ops += 1
                 send_value = None
                 continue
@@ -486,6 +516,8 @@ class Engine:
                 exceeded_delta=exceeded,
             )
         )
+        if self._tracer is not None:
+            self._tracer.op(kind, proc.pid, register_name, issued, completed, exceeded)
 
     def _record(
         self,
@@ -507,3 +539,5 @@ class Engine:
                 value=value,
             )
         )
+        if self._tracer is not None:
+            self._tracer.op(kind, proc.pid, register_name, issued, completed)

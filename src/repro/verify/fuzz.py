@@ -35,11 +35,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import Tracer, active_tracer
 
 from .explorer import Violation
 from .properties import SafetyProperty
-from .sandbox import ProgramFactory, Sandbox
+from .sandbox import ProgramFactory, Sandbox, op_kind, op_register
 
 __all__ = ["FuzzFailure", "FuzzResult", "fuzz", "main"]
 
@@ -75,6 +77,13 @@ class FuzzResult:
     steps_taken: int
     failures: List[FuzzFailure] = field(default_factory=list)
     completed_runs: int = 0  # runs where every process finished
+    # Per-run trace chunks, ``(global run index, records)`` — populated
+    # only under ``fuzz(..., trace=True)``.  Keyed by the global index so
+    # :func:`repro.parallel.merge.merge_fuzz_results` can reassemble the
+    # sequential trace byte-identically from shard slices.
+    trace_chunks: List[Tuple[int, List[Dict[str, Any]]]] = field(
+        default_factory=list
+    )
 
     @property
     def violations(self) -> List[Violation]:
@@ -102,6 +111,7 @@ def fuzz(
     bias: Optional[Dict[int, float]] = None,
     stop_at_first_violation: bool = True,
     first_index: int = 0,
+    trace: bool = False,
 ) -> FuzzResult:
     """Run ``schedules`` random interleavings, checking safety throughout.
 
@@ -124,19 +134,37 @@ def fuzz(
         ``[first_index, first_index + schedules)`` produces exactly the
         sequential campaign's slice — the property
         :mod:`repro.parallel.merge` relies on.
+    trace:
+        Record every run as a ``repro.obs`` trace chunk in
+        :attr:`FuzzResult.trace_chunks` (logical-clock substrate, same
+        record vocabulary as the chaos runner).  Tracing is pure
+        observation — RNG draws, scheduling and verdicts are identical
+        with or without it.  With ``trace=False`` an *ambient* tracer
+        (:func:`repro.obs.tracer.trace_scope`) still receives the same
+        records, but chunking is skipped — the caller owns the buffer.
     """
     if schedules < 0:
         raise ValueError(f"schedules must be >= 0, got {schedules}")
     if first_index < 0:
         raise ValueError(f"first_index must be >= 0, got {first_index}")
+    tracer = Tracer() if trace else active_tracer()
     result = FuzzResult(schedules_run=0, steps_taken=0)
     for local in range(schedules):
         i = first_index + local
         seed_key = f"{seed}:{i}"
         rng = random.Random(seed_key)
         sandbox = Sandbox(factories, max_ops=max_ops)
+        if tracer is not None:
+            tracer.run_marker(
+                "steps",
+                index=i,
+                seed=seed,
+                seed_key=seed_key,
+                pids=sorted(factories),
+            )
         schedule: List[int] = []
         fired: set = set()  # properties already reported for THIS run
+        stopped = False
         while True:
             enabled = sandbox.enabled()
             if not enabled:
@@ -146,15 +174,22 @@ def fuzz(
                 pid = rng.choices(enabled, weights=weights, k=1)[0]
             else:
                 pid = rng.choice(enabled)
+            pending = sandbox.pending_op(pid) if tracer is not None else None
             sandbox.step(pid)
             schedule.append(pid)
             result.steps_taken += 1
+            if tracer is not None:
+                clock = len(schedule)
+                tracer.op(op_kind(pending), pid, op_register(pending),
+                          float(clock - 1), float(clock))
             for prop in properties:
                 if prop.name in fired:
                     continue  # a broken state persists; report it once per run
                 message = prop.check(sandbox)
                 if message is not None:
                     fired.add(prop.name)
+                    if tracer is not None:
+                        tracer.violation(prop.name, float(len(schedule)))
                     result.failures.append(
                         FuzzFailure(
                             run_index=i,
@@ -165,7 +200,18 @@ def fuzz(
                     )
                     if stop_at_first_violation:
                         result.schedules_run = local + 1
-                        return result
+                        stopped = True
+                        break
+            if stopped:
+                break
+        if tracer is not None:
+            for pid in sorted(factories):
+                if sandbox.done(pid):
+                    tracer.done(pid, float(len(schedule)))
+            if trace:
+                result.trace_chunks.append((i, tracer.take()))
+        if stopped:
+            return result
         result.schedules_run += 1
         if all(sandbox.done(pid) for pid in factories):
             result.completed_runs += 1
@@ -230,7 +276,7 @@ def _campaign_shard(shard, payload) -> FuzzResult:
     :func:`fuzz` derives from the global run index via ``first_index``,
     so the returned result is exactly the sequential campaign's slice.
     """
-    name, seed, schedules = payload
+    name, seed, schedules, trace = payload
     for cname, factories, properties, kwargs, _expect in (
             _standard_campaigns(seed, schedules)):
         if cname == name:
@@ -238,7 +284,7 @@ def _campaign_shard(shard, payload) -> FuzzResult:
             kwargs["schedules"] = shard.count
             return fuzz(factories, properties,
                         stop_at_first_violation=False,
-                        first_index=shard.start, **kwargs)
+                        first_index=shard.start, trace=trace, **kwargs)
     raise KeyError(f"unknown standard campaign {name!r}")
 
 
@@ -246,9 +292,9 @@ def _net_shard(shard, payload):
     """Shard worker for the networked substrate (see :mod:`repro.net.fuzz`)."""
     from ..net.fuzz import fuzz_quorum_register
 
-    (seed,) = payload
+    seed, trace = payload
     return fuzz_quorum_register(
-        schedules=shard.count, seed=seed, first_index=shard.start
+        schedules=shard.count, seed=seed, first_index=shard.start, trace=trace
     )
 
 
@@ -262,6 +308,21 @@ def _failure_dict(failure: FuzzFailure) -> dict:
     }
 
 
+def _write_trace(path, chunks) -> None:
+    """Flatten merged ``(index, records)`` chunks into one JSONL file.
+
+    The chunks arrive already sorted by global run index (the merge
+    functions guarantee it), so concatenation reproduces the sequential
+    single-worker trace byte-for-byte.
+    """
+    from repro.obs.export import write_jsonl
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [record for _index, chunk in chunks for record in chunk]
+    count = write_jsonl(records, str(path))
+    print(f"trace: {count} record(s) -> {path}")
+
+
 def _run_registers(args, pool, timing: list):
     """The three standard campaigns, sharded; returns (exit code, summary)."""
     from ..parallel import make_shards, merge_fuzz_results, timing_rows
@@ -273,16 +334,21 @@ def _run_registers(args, pool, timing: list):
         "campaigns": [],
     }
     failures = 0
+    trace_chunks: list = []
     for name, _factories, _properties, kwargs, expect_violation in (
             _standard_campaigns(args.seed, args.schedules)):
         shards = make_shards(args.schedules, args.workers,
                              master_seed=kwargs["seed"])
         results = pool.run(_campaign_shard, shards,
-                           (name, args.seed, args.schedules))
+                           (name, args.seed, args.schedules,
+                            args.trace is not None))
         timing.extend(timing_rows(results, campaign=name))
         # Every shard collects EVERY violation, not just the first: a
         # nightly failure must be actionable from the log alone.
         result = merge_fuzz_results([r.value for r in results])
+        # Campaigns run in a fixed order, runs within one in index order,
+        # so the concatenated trace is deterministic across --workers.
+        trace_chunks.extend(result.trace_chunks)
         if expect_violation:
             ok = not result.ok
             expectation = "violation expected"
@@ -312,6 +378,8 @@ def _run_registers(args, pool, timing: list):
             "failures": [_failure_dict(f) for f in result.failures],
         })
     summary["ok"] = failures == 0
+    if args.trace is not None:
+        _write_trace(args.trace, trace_chunks)
     return (0 if failures == 0 else 1), summary
 
 
@@ -326,9 +394,12 @@ def _run_net(args, pool, timing: list):
     from ..parallel import make_shards, merge_net_reports, timing_rows
 
     shards = make_shards(args.schedules, args.workers, master_seed=args.seed)
-    results = pool.run(_net_shard, shards, (args.seed,))
+    results = pool.run(_net_shard, shards,
+                       (args.seed, args.trace is not None))
     timing.extend(timing_rows(results, campaign="net_quorum"))
     report = merge_net_reports([r.value for r in results])
+    if args.trace is not None:
+        _write_trace(args.trace, report.trace_chunks)
     print(report.summary())
     for outcome in report.violations[:3]:
         print(f"     {outcome!r}")
@@ -419,6 +490,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "--workers 1 on the same seed (default: 1)")
     parser.add_argument("--json", type=Path, default=None, metavar="FILE",
                         help="write the deterministic campaign summary here")
+    parser.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                        help="write the campaigns' structured trace "
+                             "(repro.obs JSONL) here; byte-identical for a "
+                             "fixed seed regardless of --workers")
     parser.add_argument("--timing-json", type=Path, default=None,
                         metavar="FILE",
                         help="write per-shard wall/throughput telemetry here")

@@ -38,7 +38,7 @@ from ..sim import ops as op_defs
 from ..sim.ops import Delay, Label, LocalWork, Op, Read, ReadModifyWrite, Write
 from ..sim.registers import Memory, _freeze
 
-__all__ = ["Sandbox", "ProgramFactory"]
+__all__ = ["Sandbox", "ProgramFactory", "op_kind", "op_register"]
 
 # A factory producing a fresh program for a pid (replays need fresh
 # generators every time).
@@ -47,6 +47,30 @@ ProgramFactory = Callable[[int], Any]
 # How many consecutive non-shared operations a program may execute before
 # the sandbox declares it livelocked (labels/delays in a tight loop).
 _MAX_NONSHARED_RUN = 10_000
+
+
+def op_kind(op: Optional[Op]) -> str:
+    """Trace-op name for a pending op (see :meth:`Sandbox.pending_op`).
+
+    Shared vocabulary for the harnesses that trace logical-clock steps
+    (:mod:`repro.chaos.runner`, :mod:`repro.verify.fuzz`): the returned
+    string is the ``op`` field of a ``repro.obs`` op record.
+    """
+    if isinstance(op, Read):
+        return "read"
+    if isinstance(op, Write):
+        return "write"
+    if isinstance(op, ReadModifyWrite):
+        return "rmw"
+    if isinstance(op, LocalWork):
+        return "local"
+    return "step"
+
+
+def op_register(op: Optional[Op]) -> Optional[str]:
+    """Register name a pending op touches, or ``None`` (pause points)."""
+    register = getattr(op, "register", None)
+    return register.name if register is not None else None
 
 
 class Sandbox:
@@ -159,6 +183,14 @@ class Sandbox:
             self.decisions.setdefault(pid, label.payload)
 
     # -- inspection ----------------------------------------------------------
+
+    def pending_op(self, pid: int) -> Optional[Op]:
+        """The shared op ``pid`` would execute on its next :meth:`step`.
+
+        Observation only (tracing harnesses record the op kind/register
+        before stepping); ``None`` when the process is done or unknown.
+        """
+        return self._pending.get(pid)
 
     def done(self, pid: int) -> bool:
         return self._done[pid]

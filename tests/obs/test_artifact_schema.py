@@ -1,0 +1,54 @@
+"""Artifact schema v2: observability sidecars, schema-1 tolerance."""
+
+import json
+
+import pytest
+
+from repro.chaos.artifact import (
+    SCHEMA_VERSION,
+    attach_observability,
+    load_artifact,
+    save_artifact,
+)
+
+ARTIFACT = "tests/chaos/artifacts/fischer_n3_violation.json"
+
+
+class TestSchemaTolerance:
+    def test_committed_schema_1_artifact_still_loads(self):
+        raw = json.load(open(ARTIFACT))
+        assert raw["schema"] == 1  # the fixture predates the sidecars
+        artifact = load_artifact(ARTIFACT)
+        assert artifact.net_stats is None and artifact.timeliness is None
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        raw = json.load(open(ARTIFACT))
+        raw["schema"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="unsupported artifact schema"):
+            load_artifact(path)
+
+
+class TestAttachObservability:
+    def test_sim_artifact_gains_a_timeliness_sidecar(self, tmp_path):
+        enriched = attach_observability(load_artifact(ARTIFACT))
+        assert enriched.timeliness is not None
+        assert enriched.timeliness["substrate"] == "steps"
+        assert enriched.timeliness["links"]["p0"]["starved"]
+
+        # Round trip: saved at schema 2, sidecar survives reloading,
+        # and identity (campaign/payload/violation) is unchanged.
+        path = tmp_path / "enriched.json"
+        save_artifact(enriched, path)
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == SCHEMA_VERSION
+        reloaded = load_artifact(path)
+        assert reloaded == load_artifact(ARTIFACT)  # sidecars never compare
+        assert reloaded.timeliness == enriched.timeliness
+
+    def test_attachment_is_deterministic(self):
+        artifact = load_artifact(ARTIFACT)
+        first = attach_observability(artifact).timeliness
+        second = attach_observability(artifact).timeliness
+        assert first == second

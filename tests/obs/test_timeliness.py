@@ -1,0 +1,89 @@
+"""Timeliness-graph mining: unit behaviour + the Fischer acceptance run.
+
+The acceptance case is the issue's end-to-end contract: replaying the
+committed ``fischer_n3_violation`` artifact under ``--trace`` and mining
+the result must identify the fault-window-affected link — the starved
+process the adversarial schedule froze out of its critical-section
+doorway — while the processes that raced ahead stay timely.
+"""
+
+from repro.chaos.__main__ import main as chaos_main
+from repro.obs import mine_timeliness, read_jsonl
+from repro.obs.timeliness import delay_observations, format_timeliness
+
+ARTIFACT = "tests/chaos/artifacts/fischer_n3_violation.json"
+
+INF = float("inf")
+
+
+def _net_records():
+    return [
+        {"kind": "run", "substrate": "net", "pids": [0, 1]},
+        {"kind": "send", "id": 1, "src": 0, "dst": 1, "t": 0.0, "arrive": 1.0},
+        {"kind": "send", "id": 2, "src": 0, "dst": 1, "t": 2.0, "arrive": 3.0},
+        {"kind": "send", "id": 3, "src": 1, "dst": 0, "t": 1.0, "arrive": 9.0},
+        {"kind": "window", "start": 0.5, "end": 2.0, "pids": [1], "fault": "spike"},
+    ]
+
+
+class TestDelayObservations:
+    def test_substrate_is_inferred_from_message_records(self):
+        substrate, observations = delay_observations(_net_records())
+        assert substrate == "net"
+        assert observations["0->1"] == [(0.0, 1.0), (2.0, 1.0)]
+        assert observations["1->0"] == [(1.0, 8.0)]
+
+    def test_drops_are_infinite_delays(self):
+        records = _net_records() + [
+            {"kind": "drop", "id": 4, "src": 1, "dst": 0, "t": 4.0}
+        ]
+        _, observations = delay_observations(records)
+        assert observations["1->0"][-1] == (4.0, INF)
+
+
+class TestMineTimeliness:
+    def test_mined_delta_keeps_the_majority_timely(self):
+        report = mine_timeliness(_net_records())
+        assert report["delta_source"] == "mined"
+        assert report["delta"] == 1.0
+        assert report["timely"] == ["0->1"]
+        assert report["untimely"] == ["1->0"]
+
+    def test_explicit_delta_overrides_mining(self):
+        report = mine_timeliness(_net_records(), delta=10.0)
+        assert report["delta_source"] == "explicit"
+        assert report["untimely"] == []
+
+    def test_window_correlation_names_the_slow_link(self):
+        report = mine_timeliness(_net_records())
+        [window] = report["windows"]
+        assert window["fault"] == "spike"
+        assert window["affected_links"] == ["1->0"]
+
+    def test_dropped_links_are_untimely_at_any_delta(self):
+        records = _net_records() + [
+            {"kind": "drop", "id": 4, "src": 1, "dst": 0, "t": 4.0}
+        ]
+        report = mine_timeliness(records, delta=100.0)
+        assert "1->0" in report["untimely"]
+
+
+class TestFischerAcceptance:
+    def test_replay_trace_identifies_the_starved_process(self, tmp_path):
+        """Issue acceptance: trace the committed violation, mine it, and
+        the fault window's affected link is the process the schedule
+        starved — classified untimely while the others stay timely."""
+        trace = tmp_path / "fischer.jsonl"
+        assert chaos_main(["replay", "--trace", str(trace), ARTIFACT]) == 0
+        report = mine_timeliness(read_jsonl(str(trace)))
+        assert report["substrate"] == "steps"
+        assert report["links"]["p0"]["starved"]
+        assert "p0" in report["untimely"]
+        assert "p1" in report["timely"] and "p2" in report["timely"]
+        # This artifact is fully shrunk (shrunk_fault_count == 0): the
+        # schedule itself is the adversary, so there are no fault-window
+        # records — window correlation is exercised on synthetic traces
+        # in TestMineTimeliness above.
+        assert report["windows"] == []
+        rendered = format_timeliness(report)
+        assert "STARVED" in rendered and "UNTIMELY" in rendered
