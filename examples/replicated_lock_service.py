@@ -2,7 +2,8 @@
 
 Run::
 
-    python examples/replicated_lock_service.py
+    python examples/replicated_lock_service.py          # simulated network
+    python examples/replicated_lock_service.py --live   # real loopback sockets
 
 The paper's time-resilient mutex (Algorithm 3) runs here *unchanged* —
 same generator program, same registers — but the registers are an
@@ -16,7 +17,16 @@ timeline shows a gap.  When the partition heals, retransmission carries
 the pending phases over, the service converges, and every session
 completes.  Mutual exclusion holds throughout: safety never rests, even
 while the network misbehaves.
+
+With ``--live`` the *same* client programs run over
+:class:`repro.serve.AsyncioSubstrate` — real TCP streams on loopback,
+wall-clock time, driven by :class:`repro.serve.AsyncioDriver`.  Not a
+rewrite: the generators are identical objects; only the substrate under
+them changes.  The default (simulated) path is untouched and remains the
+deterministic regression guard.
 """
+
+import sys
 
 from repro.algorithms import mutex_session
 from repro.core.mutex import default_time_resilient_mutex
@@ -86,5 +96,78 @@ def main() -> None:
           "the paper's resilience contract, served over a quorum")
 
 
+def main_live() -> None:
+    """The same lock sessions over real loopback sockets."""
+    import asyncio
+
+    from repro.obs.tracer import Tracer, trace_scope
+    from repro.serve import AsyncioDriver, AsyncioSubstrate
+
+    bound = 0.02  # assumed delivery bound: 20ms, generous for loopback
+    tracer = Tracer()
+
+    async def body():
+        substrate = AsyncioSubstrate(CLIENTS + REPLICAS, bound=bound, tracer=tracer)
+        await substrate.start()
+        system = QuorumSystem(
+            clients=CLIENTS, replicas=REPLICAS, substrate=substrate, seed=0
+        )
+        lock = default_time_resilient_mutex(CLIENTS, delta=system.delta)
+        driver = AsyncioDriver(substrate, tracer=tracer)
+        for pid in system.replica_pids:
+            driver.spawn(system.replica(pid), pid=pid, name=f"replica{pid}")
+        for pid in range(CLIENTS):
+            program = mutex_session(
+                lock, pid, SESSIONS, cs_duration=0.05, ncs_duration=0.05
+            )
+            driver.spawn(
+                system.emulate_registers(pid, program), pid=pid, name=f"client{pid}"
+            )
+        await driver.wait()
+        await substrate.close()
+        return system
+
+    with trace_scope(tracer):
+        system = asyncio.run(body())
+
+    stats = system.transport.stats
+    print(f"substrate         : live loopback TCP (delivery bound {bound}s)")
+    print(f"delta_net         : {system.delta:.3f}s")
+    print(f"messages          : sent={stats.messages_sent} "
+          f"delivered={stats.messages_delivered}")
+    print(f"quorum phases     : {stats.quorum_rtts}")
+
+    # Pair CS_ENTER/CS_EXIT label records per client, then sweep for
+    # overlap — the live-trace equivalent of check_mutual_exclusion.
+    intervals = []
+    open_cs = {}
+    for record in tracer.take():
+        if record.get("kind") != "label":
+            continue
+        pid, t = record["pid"], record["t"]
+        if record["label"] == "cs_enter":
+            open_cs[pid] = t
+        elif record["label"] == "cs_exit" and pid in open_cs:
+            intervals.append((open_cs.pop(pid), t, pid))
+    intervals.sort()
+    overlaps = [
+        (a, b)
+        for a, b in zip(intervals, intervals[1:])
+        if b[0] < a[1]
+    ]
+    print(f"mutual exclusion  : {'held' if not overlaps else 'VIOLATED'}")
+    print("critical-section timeline (wall seconds):")
+    for enter, exit_, pid in intervals:
+        print(f"  t={enter:7.3f}..{exit_:7.3f}  client {pid}")
+
+    assert not overlaps, "exclusion must hold on the live substrate"
+    assert len(intervals) == CLIENTS * SESSIONS
+    print("the same generators, real sockets, exclusion intact — the "
+         "substrate changed, the algorithm did not")
+
+
 if __name__ == "__main__":
-    main()
+    if "--live" in sys.argv[1:]:
+        main_live()
+    else:
+        main()

@@ -272,6 +272,41 @@ def _parallel_shard_overhead() -> Dict[str, int]:
 
 
 # ---------------------------------------------------------------------------
+# Serve scenarios: the lease-service keeper workload on the sim substrate.
+# ---------------------------------------------------------------------------
+
+
+def _serve_lease_churn() -> Dict[str, int]:
+    """The lease service's keeper workload under the deterministic engine.
+
+    Two shards, two contending keepers each: every cycle a keeper locks
+    its shard's Algorithm 3 mutex, reserves a fencing-token block
+    through the ``hwm`` quorum register, and churns grant/release pairs
+    through the shared :class:`~repro.serve.service.LeaseCore`.  The
+    workload asserts its own safety (per-shard keeper exclusion, zero
+    fencing violations) and returns the lease ledger as counters; the
+    probe contributes the quorum RTT / message / linearization counts.
+    A drift in either on an unchanged tree means the keeper protocol
+    changed behaviour.
+    """
+    # Imported here to keep repro.bench importable without repro.serve.
+    from ..serve.workload import lease_churn_sim
+
+    counters = lease_churn_sim(
+        shards=2, keepers_per_shard=2, replicas=3, cycles=2, grants_per_cycle=4
+    )
+    return {
+        "lease_granted": counters["granted"],
+        "lease_released": counters["released"],
+        "lease_refills": counters["refills"],
+        "lease_stale_refills": counters["stale_refills"],
+        "lease_tokens_reserved": counters["tokens_reserved"],
+        "lease_keeper_cs": counters["keeper_cs"],
+        "lease_violations": counters["lease_violations"],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Lint scenarios: the flow analyzer over the shipped tree.
 # ---------------------------------------------------------------------------
 
@@ -376,6 +411,12 @@ _REGISTRY: List[Scenario] = [
         "flow analysis (CFG + facts) over every module in src/repro",
         quick=True,
         fn=_lint_flow_tree,
+    ),
+    Scenario(
+        "serve/lease_churn",
+        "2 shards x 2 keepers reserving fencing-token blocks under Algorithm 3",
+        quick=True,
+        fn=_serve_lease_churn,
     ),
     Scenario(
         "experiments/e4_fastpath",

@@ -91,6 +91,19 @@ class QuorumSystem:
         Engine run limit; also the replicas' default service lifetime —
         replicas retire early once every client has said goodbye, so
         well-behaved runs end long before this.
+    fault_tolerance:
+        The number of replica crashes the deployment is declared to
+        survive.  Validated at construction: ``replicas >= 2*f + 1``
+        must hold or no majority survives every crash pattern, and the
+        system would wedge opaquely mid-run instead.  Defaults to the
+        largest tolerable minority, ``(replicas - 1) // 2``.
+    substrate:
+        An explicit :class:`repro.serve.substrate.Substrate` to carry
+        the messages instead of a fresh in-simulation ``Transport`` —
+        this is how :mod:`repro.serve` runs the same quorum phases over
+        real sockets.  A system built on a live substrate cannot
+        :meth:`build_engine`; its programs are driven by
+        :class:`repro.serve.driver.AsyncioDriver` instead.
     """
 
     def __init__(
@@ -106,15 +119,48 @@ class QuorumSystem:
         max_time: float = 2_000.0,
         lifetime: Optional[float] = None,
         tie_break: Optional[TieBreak] = None,
+        fault_tolerance: Optional[int] = None,
+        substrate: Optional[Any] = None,
     ) -> None:
+        if not isinstance(clients, int) or isinstance(clients, bool):
+            raise TypeError(f"clients must be an int, got {clients!r}")
+        if not isinstance(replicas, int) or isinstance(replicas, bool):
+            raise TypeError(f"replicas must be an int, got {replicas!r}")
         if clients < 1:
             raise ValueError(f"need at least one client, got {clients}")
         if replicas < 1:
             raise ValueError(f"need at least one replica, got {replicas}")
+        if fault_tolerance is None:
+            # The tolerance this replica count actually provides: the
+            # largest minority.
+            fault_tolerance = (replicas - 1) // 2
+        elif not isinstance(fault_tolerance, int) or isinstance(fault_tolerance, bool):
+            raise TypeError(
+                f"fault_tolerance must be an int, got {fault_tolerance!r}"
+            )
+        elif fault_tolerance < 0:
+            raise ValueError(
+                f"fault_tolerance must be >= 0, got {fault_tolerance}"
+            )
+        elif replicas < 2 * fault_tolerance + 1:
+            # Fail here, with the arithmetic spelled out, instead of
+            # wedging mid-run when a "tolerable" crash kills a majority.
+            raise ValueError(
+                f"tolerating f={fault_tolerance} crashed replicas needs a "
+                f"majority to survive every crash pattern: replicas >= "
+                f"2*f+1 = {2 * fault_tolerance + 1}, got {replicas}"
+            )
         self.clients = clients
         self.replicas = replicas
+        self.fault_tolerance = fault_tolerance
         self.majority = replicas // 2 + 1
-        self.bound = float(bound)
+        if substrate is not None and substrate.n != clients + replicas:
+            raise ValueError(
+                f"substrate has {substrate.n} endpoints but "
+                f"{clients} clients + {replicas} replicas need "
+                f"{clients + replicas}"
+            )
+        self.bound = float(substrate.bound if substrate is not None else bound)
         costs = resilience.default_costs(self.bound)
         self.send_cost = costs["send_cost"]
         self.recv_cost = costs["recv_cost"]
@@ -126,9 +172,16 @@ class QuorumSystem:
         self.replica_pids: Tuple[int, ...] = tuple(range(clients, clients + replicas))
         self.faults = faults if faults is not None else NetFaultPlan.none()
         self.crashes = crashes
-        self.transport = Transport(
-            clients + replicas, bound=self.bound, seed=seed, faults=self.faults
-        )
+        # The substrate seam (see repro.serve.substrate): the quorum
+        # phases only ever use the Substrate surface — peers, send,
+        # collect, stats, tracer — so any conforming fabric slots in.
+        # Default: the deterministic in-simulation Transport.
+        if substrate is not None:
+            self.transport = substrate
+        else:
+            self.transport = Transport(
+                clients + replicas, bound=self.bound, seed=seed, faults=self.faults
+            )
         self.timing = timing if timing is not None else ConstantTiming(self.send_cost)
         self.delta = delta if delta is not None else resilience.delta_net(self)
         self.max_time = max_time
@@ -290,6 +343,11 @@ class QuorumSystem:
 
     def build_engine(self, client_programs: Sequence[Program]) -> NetEngine:
         """Spawn wrapped clients and replicas on a fresh :class:`NetEngine`."""
+        if not isinstance(self.transport, Transport):
+            raise RuntimeError(
+                "this QuorumSystem is bound to a live substrate — drive its "
+                "programs with repro.serve.AsyncioDriver, not a NetEngine"
+            )
         if self._ran:
             raise RuntimeError(
                 "QuorumSystem already ran — its transport is consumed; build "

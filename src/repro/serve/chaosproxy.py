@@ -1,0 +1,136 @@
+"""A fault-injecting proxy substrate: chaos against the live service.
+
+:class:`FaultProxySubstrate` wraps any
+:class:`~repro.serve.substrate.Substrate` and applies a
+:class:`~repro.net.faults.NetFaultPlan` on each send — the same plan
+vocabulary the sim transport consults, so a chaos campaign designed
+against the simulated service drops onto the live one unchanged:
+
+* **partitions / losses** — :meth:`NetFaultPlan.drops` decides the
+  message's fate from the proxy's own seeded RNG (the inner substrate
+  never sees it; its ``messages_dropped`` counter and a tracer ``drop``
+  record do);
+* **delay spikes** — :meth:`NetFaultPlan.delivery_delay` stretches a
+  zero nominal delay into extra holding time.  On an asyncio event loop
+  the forward is deferred with ``call_later``; without a running loop
+  (e.g. a proxy wrapped around the sim transport for unit tests) the
+  extra delay is added to ``now`` so the inner substrate's own delivery
+  logic accounts for it.
+
+Window times are expressed on the *driving clock*: run-relative seconds
+for the live substrate, virtual time for a sim transport — ``now`` is
+whatever the caller passes, exactly as everywhere else.
+
+Determinism caveat, stated rather than hidden: on the live substrate the
+*decisions* are seeded and reproducible, but wall-clock arrival of sends
+inside a window is not — live chaos runs are for observing resilience
+(zero violations, bounded p99 inflation), not for byte-identical replay.
+That is what the sim substrate remains for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.net.faults import NetFaultPlan
+from repro.net.transport import NetStats
+from repro.obs.tracer import Tracer
+
+from .substrate import Substrate
+
+__all__ = ["FaultProxySubstrate"]
+
+
+class FaultProxySubstrate:
+    """Wrap ``inner`` and run every send through a fault plan.
+
+    The proxy presents the full :class:`Substrate` surface by
+    delegation: ``n``, ``bound``, ``stats``, ``tracer``, ``peers`` and
+    ``collect`` are the inner substrate's own (one stats block, one
+    trace — the proxy is a network condition, not a second network).
+    """
+
+    def __init__(
+        self,
+        inner: Substrate,
+        plan: NetFaultPlan,
+        seed: Any = 0,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.delayed = 0
+
+    # -- delegated surface ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.inner.n
+
+    @property
+    def bound(self) -> float:
+        return self.inner.bound
+
+    @property
+    def stats(self) -> NetStats:
+        return self.inner.stats
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        return self.inner.tracer
+
+    @property
+    def clock(self):
+        # The live driver looks for a clock on its substrate; expose the
+        # inner one when present so time stays single-sourced.
+        return getattr(self.inner, "clock", None)
+
+    def peers(self, pid: int) -> Tuple[int, ...]:
+        return self.inner.peers(pid)
+
+    def collect(self, dst: int, now: float) -> List[Tuple[int, Any]]:
+        return self.inner.collect(dst, now)
+
+    # -- the faulted send ----------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any, now: float) -> None:
+        if self.plan.drops(src, dst, now, self._rng):
+            self.dropped += 1
+            self.stats.messages_sent += 1
+            self.stats.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.msg_drop(src, dst, now)
+            return
+        extra = self.plan.delivery_delay(src, dst, now, 0.0)
+        if extra <= 0:
+            self.inner.send(src, dst, payload, now)
+            return
+        self.delayed += 1
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            loop = None
+        if loop is not None:
+            loop.call_later(extra, self.inner.send, src, dst, payload, now)
+        else:
+            # No event loop to defer on (sim inner): shift the send
+            # instant so the inner delivery logic charges the spike.
+            self.inner.send(src, dst, payload, now + extra)
+
+    # -- live-only conveniences ---------------------------------------------
+
+    async def wait_for_message(self, dst: int, timeout: float) -> bool:
+        waiter = getattr(self.inner, "wait_for_message", None)
+        if waiter is None:
+            await asyncio.sleep(timeout)
+            return False
+        return await waiter(dst, timeout)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultProxySubstrate({self.inner!r}, dropped={self.dropped}, "
+            f"delayed={self.delayed})"
+        )

@@ -1,0 +1,217 @@
+"""Seeded open-loop load against the lease service.
+
+Open-loop means arrivals come from a pre-drawn Poisson schedule and do
+*not* wait for earlier requests to finish — the generator models 10⁵–10⁶
+independent clients multiplexed onto asyncio tasks, so a slow service
+accumulates queueing delay in the measured latency instead of quietly
+throttling the offered load (the coordinated-omission trap closed-loop
+generators fall into).
+
+Determinism discipline, stated precisely: the *workload* is seeded and
+exactly reproducible — the arrival schedule (``expovariate`` draws from
+``random.Random(seed)``) and each session's key (CRC-32 of the session
+index, never :func:`hash`) are identical across runs, workers, and
+machines.  The *measurements* (latencies, grant/timeout split under
+contention) are wall-clock facts of the run; safety properties are
+audited by :meth:`~repro.serve.service.LeaseService.verify`, not by
+expecting live timings to replay.
+
+``workers`` splits the schedule into interleaved slices (worker ``w``
+pumps sessions ``w::workers``) so the pump itself never bottlenecks on a
+single coroutine at high arrival rates; the union of slices is the same
+schedule regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import zlib
+from typing import Any, Dict, List, Optional, Sequence
+
+from .service import LeaseService
+
+__all__ = ["LoadGenerator", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
+    """Exact nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return None
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class LoadGenerator:
+    """Drive ``clients`` lease sessions through ``service`` in ``duration`` s.
+
+    One session = acquire a key (seeded choice from ``keyspace``), hold
+    it for ``hold`` seconds, release with the fencing token.  Latency is
+    measured from the *scheduled* arrival instant to the grant, so pump
+    lateness and queueing both count against the service — open-loop
+    honesty.
+
+    ``max_inflight`` bounds concurrently-alive session tasks; arrivals
+    beyond the bound are *shed* (counted, not silently dropped) so a
+    wedged service cannot balloon task memory without saying so.
+    """
+
+    def __init__(
+        self,
+        service: LeaseService,
+        clients: int,
+        duration: float,
+        seed: int = 0,
+        keyspace: int = 1024,
+        ttl: Optional[float] = None,
+        hold: float = 0.0,
+        timeout: float = 2.0,
+        workers: int = 1,
+        max_inflight: int = 50_000,
+    ) -> None:
+        if clients < 1:
+            raise ValueError(f"need at least one client, got {clients}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if keyspace < 1:
+            raise ValueError(f"keyspace must be positive, got {keyspace}")
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.service = service
+        self.clients = clients
+        self.duration = float(duration)
+        self.seed = seed
+        self.keyspace = keyspace
+        self.ttl = ttl
+        self.hold = hold
+        self.timeout = timeout
+        self.workers = workers
+        self.max_inflight = max_inflight
+        # The entire arrival schedule is drawn up front: rate λ = N/D,
+        # inter-arrival gaps ~ Exp(λ).  Reproducible by construction.
+        rng = random.Random(seed)
+        rate = clients / self.duration
+        t = 0.0
+        self.arrivals: List[float] = []
+        for _ in range(clients):
+            t += rng.expovariate(rate)
+            self.arrivals.append(t)
+        self.granted = 0
+        self.timeouts = 0
+        self.shed = 0
+        self.released = 0
+        self.release_fenced = 0
+        self.errors = 0
+        self.latencies: List[float] = []
+        self._inflight = 0
+        self._tasks: set = set()
+        self._origin = 0.0
+
+    def key_for(self, index: int) -> str:
+        """The session's key — CRC-routed, identical on every run."""
+        slot = zlib.crc32(f"{self.seed}:{index}".encode("ascii")) % self.keyspace
+        return f"key{slot}"
+
+    def _now(self) -> float:
+        return self.service.base.clock.now
+
+    # -- sessions ------------------------------------------------------------
+
+    async def _session(self, index: int, scheduled: float) -> None:
+        try:
+            key = self.key_for(index)
+            lease = await self.service.acquire(
+                key, ttl=self.ttl, timeout=self.timeout, holder=f"c{index}"
+            )
+            if lease is None:
+                self.timeouts += 1
+                return
+            self.latencies.append(self._now() - scheduled)
+            self.granted += 1
+            if self.hold > 0:
+                await asyncio.sleep(self.hold)
+            if self.service.release(key, lease.token):
+                self.released += 1
+            else:
+                self.release_fenced += 1
+        except Exception:
+            self.errors += 1
+            raise
+
+    def _spawn(self, index: int, scheduled: float) -> None:
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._session(index, scheduled))
+        self._tasks.add(task)
+        self._inflight += 1
+        task.add_done_callback(self._retire)
+
+    def _retire(self, task: "asyncio.Task") -> None:
+        self._tasks.discard(task)
+        self._inflight -= 1
+
+    async def _pump(self, worker: int) -> None:
+        for index in range(worker, self.clients, self.workers):
+            target = self._origin + self.arrivals[index]
+            delay = target - self._now()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if self._inflight >= self.max_inflight:
+                self.shed += 1
+                continue
+            self._spawn(index, target)
+        # Yield so freshly-spawned tail sessions start before the drain.
+        await asyncio.sleep(0)
+
+    # -- the run -------------------------------------------------------------
+
+    async def run(self) -> Dict[str, Any]:
+        """Pump the schedule, drain the tail, return the report dict."""
+        self._origin = self._now()
+        pumps = [
+            asyncio.get_running_loop().create_task(self._pump(w))
+            for w in range(self.workers)
+        ]
+        await asyncio.gather(*pumps)
+        drain = self.timeout + self.hold + 1.0
+        deadline = self._now() + drain
+        while self._tasks and self._now() < deadline:
+            await asyncio.sleep(0.02)
+        cancelled = 0
+        if self._tasks:
+            stragglers = list(self._tasks)
+            for task in stragglers:
+                task.cancel()
+            await asyncio.gather(*stragglers, return_exceptions=True)
+            cancelled = len(stragglers)
+        elapsed = self._now() - self._origin
+        return self.report(elapsed, cancelled)
+
+    def report(self, elapsed: float, cancelled: int = 0) -> Dict[str, Any]:
+        lat = sorted(self.latencies)
+        return {
+            "clients": self.clients,
+            "duration": self.duration,
+            "seed": self.seed,
+            "keyspace": self.keyspace,
+            "workers": self.workers,
+            "elapsed": elapsed,
+            "granted": self.granted,
+            "timeouts": self.timeouts,
+            "shed": self.shed,
+            "cancelled": cancelled,
+            "released": self.released,
+            "release_fenced": self.release_fenced,
+            "errors": self.errors,
+            "throughput": (self.granted / elapsed) if elapsed > 0 else 0.0,
+            "latency": {
+                "count": len(lat),
+                "mean": (sum(lat) / len(lat)) if lat else None,
+                "p50": percentile(lat, 50),
+                "p95": percentile(lat, 95),
+                "p99": percentile(lat, 99),
+                "max": lat[-1] if lat else None,
+            },
+        }

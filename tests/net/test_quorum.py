@@ -223,3 +223,56 @@ class TestValidation:
         system.run([client()])
         with pytest.raises(RuntimeError, match="already ran"):
             system.run([client()])
+
+
+class TestFaultToleranceValidation:
+    def test_insufficient_replicas_rejected_at_construction(self):
+        # The deployment mistake this guards: "3 replicas, tolerate 2
+        # crashes" wedges mid-run once a majority is dead.  Fail loudly
+        # at construction instead.
+        with pytest.raises(ValueError, match=r"2\*f\+1"):
+            QuorumSystem(clients=1, replicas=3, fault_tolerance=2)
+        with pytest.raises(ValueError, match=r"2\*f\+1"):
+            QuorumSystem(clients=1, replicas=4, fault_tolerance=2)
+
+    def test_boundary_replica_counts_accepted(self):
+        assert QuorumSystem(clients=1, replicas=3,
+                            fault_tolerance=1).fault_tolerance == 1
+        assert QuorumSystem(clients=1, replicas=5,
+                            fault_tolerance=2).fault_tolerance == 2
+
+    def test_default_tolerance_is_largest_minority(self):
+        assert QuorumSystem(clients=1, replicas=3).fault_tolerance == 1
+        assert QuorumSystem(clients=1, replicas=4).fault_tolerance == 1
+        assert QuorumSystem(clients=1, replicas=7).fault_tolerance == 3
+
+    def test_tolerance_type_and_sign_checked(self):
+        with pytest.raises(TypeError):
+            QuorumSystem(clients=1, replicas=3, fault_tolerance=True)
+        with pytest.raises(ValueError):
+            QuorumSystem(clients=1, replicas=3, fault_tolerance=-1)
+
+
+class TestSubstrateSeam:
+    def test_substrate_endpoint_count_must_match(self):
+        from repro.net.transport import Transport
+
+        with pytest.raises(ValueError, match="endpoints"):
+            QuorumSystem(clients=2, replicas=3,
+                         substrate=Transport(4, bound=1.0))
+
+    def test_sim_substrate_round_trips(self):
+        from repro.net.transport import Transport
+
+        transport = Transport(4, bound=1.0)
+        system = QuorumSystem(clients=1, replicas=3, substrate=transport)
+        reg = Register("x", 0)
+
+        def client():
+            yield reg.write(9)
+            return (yield reg.read())
+
+        result = system.run([client()])
+        assert result.status is RunStatus.COMPLETED
+        assert result.returns[0] == 9
+        assert transport.stats.messages_sent > 0

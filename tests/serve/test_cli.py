@@ -1,0 +1,38 @@
+"""The ``python -m repro.serve`` command line, end to end in subprocesses."""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def _run(*argv, timeout=240):
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *argv],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+def test_sim_subcommand_reports_counters():
+    proc = _run("sim")
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["counters"]["lease_violations"] == 0
+    assert doc["counters"]["granted"] > 0
+
+
+def test_load_subcommand_small_run(tmp_path):
+    out = tmp_path / "report.json"
+    proc = _run(
+        "load", "--clients", "300", "--duration", "2", "--seed", "0",
+        "--shards", "2", "--timeout", "5", "--max-p99", "5",
+        "--json", str(out),
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["violations"] == []
+    assert doc["load"]["granted"] == 300
+    assert doc["load"]["errors"] == 0
+    assert doc["load"]["latency"]["p99"] is not None
+    assert doc["obs"]["metrics"]

@@ -1,0 +1,54 @@
+"""Shard routing: same key -> same shard, across processes and restarts."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import shard_for
+
+
+def test_routing_is_pinned():
+    # Hard-coded expectations: crc32 is stable across Python versions,
+    # platforms, and PYTHONHASHSEED, so these can never drift between a
+    # service restart and a client that cached its routing.
+    assert shard_for("user:0", 4) == 0
+    assert shard_for("user:1", 4) == 2
+    assert shard_for("user:2", 4) == 0
+    assert shard_for("lock/alpha", 16) == 14
+    assert shard_for("lock/beta", 16) == 2
+    assert shard_for(42, 16) == 8
+
+
+def test_routing_survives_a_fresh_interpreter():
+    # A "restart" in miniature: a brand-new process (fresh hash seed)
+    # must route the same keys to the same shards.
+    code = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.serve import shard_for\n"
+        "print(shard_for('user:0', 4), shard_for('lock/alpha', 16))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, timeout=60,
+    )
+    assert out.stdout.split() == ["0", "14"]
+
+
+def test_single_shard_routes_everything_to_zero():
+    assert all(shard_for(f"k{i}", 1) == 0 for i in range(64))
+
+
+def test_distribution_is_sane():
+    shards = 8
+    counts = [0] * shards
+    for i in range(4096):
+        counts[shard_for(f"key{i}", shards)] += 1
+    # crc32 over distinct keys should be roughly uniform; allow wide slack.
+    assert min(counts) > 4096 // shards // 2
+    assert max(counts) < 4096 // shards * 2
+
+
+def test_shard_count_validated():
+    with pytest.raises(ValueError):
+        shard_for("k", 0)

@@ -1,0 +1,111 @@
+"""The Substrate protocol and the live loopback implementation."""
+
+import asyncio
+
+import pytest
+
+from repro.net.transport import Transport
+from repro.serve import AsyncioSubstrate, FaultProxySubstrate, Substrate
+from repro.net.faults import NetFaultPlan
+
+
+def test_transport_satisfies_substrate_protocol():
+    # The tentpole claim: the sim fabric already speaks the protocol —
+    # no adapter, no wrapper, structural conformance.
+    assert isinstance(Transport(4, bound=1.0), Substrate)
+
+
+def test_asyncio_substrate_satisfies_protocol():
+    assert isinstance(AsyncioSubstrate(3), Substrate)
+
+
+def test_fault_proxy_satisfies_protocol():
+    inner = Transport(3, bound=1.0)
+    assert isinstance(FaultProxySubstrate(inner, NetFaultPlan.none()), Substrate)
+
+
+def test_substrate_validates_construction():
+    with pytest.raises(ValueError):
+        AsyncioSubstrate(0)
+    with pytest.raises(ValueError):
+        AsyncioSubstrate(3, bound=0.0)
+
+
+def test_peers_excludes_self():
+    substrate = AsyncioSubstrate(4)
+    assert substrate.peers(2) == (0, 1, 3)
+
+
+def test_send_before_start_raises():
+    substrate = AsyncioSubstrate(2)
+    with pytest.raises(RuntimeError):
+        substrate.send(0, 1, "x", 0.0)
+
+
+def test_live_round_trip_and_stats():
+    async def body():
+        substrate = AsyncioSubstrate(3, bound=0.05)
+        await substrate.start()
+        try:
+            substrate.send(0, 1, ("hello", 42), substrate.clock.now)
+            substrate.send(2, 1, ("also", 7), substrate.clock.now)
+            assert await substrate.wait_for_message(1, timeout=2.0)
+            # Delivery order between distinct senders is not promised;
+            # payload fidelity and (src, payload) pairing are.
+            got = {}
+            deadline = substrate.clock.now + 2.0
+            while len(got) < 2 and substrate.clock.now < deadline:
+                for src, payload in substrate.collect(1, substrate.clock.now):
+                    got[src] = payload
+                await asyncio.sleep(0.005)
+            assert got == {0: ("hello", 42), 2: ("also", 7)}
+            assert substrate.stats.messages_sent == 2
+            assert substrate.stats.messages_delivered == 2
+            assert substrate.collect(1, substrate.clock.now) == []
+        finally:
+            await substrate.close()
+            await substrate.close()  # idempotent
+
+    asyncio.run(body())
+
+
+def test_self_send_rejected():
+    async def body():
+        substrate = AsyncioSubstrate(2)
+        await substrate.start()
+        try:
+            with pytest.raises(ValueError):
+                substrate.send(0, 0, "x", 0.0)
+            with pytest.raises(ValueError):
+                substrate.send(0, 9, "x", 0.0)
+        finally:
+            await substrate.close()
+
+    asyncio.run(body())
+
+
+def test_wait_for_message_times_out():
+    async def body():
+        substrate = AsyncioSubstrate(2)
+        await substrate.start()
+        try:
+            assert not await substrate.wait_for_message(0, timeout=0.05)
+        finally:
+            await substrate.close()
+
+    asyncio.run(body())
+
+
+def test_clock_is_run_relative():
+    async def body():
+        substrate = AsyncioSubstrate(2)
+        assert substrate.clock.now == 0.0  # before start: the origin
+        await substrate.start()
+        try:
+            first = substrate.clock.now
+            await asyncio.sleep(0.01)
+            assert substrate.clock.now > first >= 0.0
+        finally:
+            await substrate.close()
+
+    asyncio.run(body())
