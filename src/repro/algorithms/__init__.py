@@ -7,6 +7,11 @@ tournament tree, and the Bar-David starvation-freedom transformation.
 Consensus: the one-shot fast timing-based algorithm (Alur–Taubenfeld
 style, *not* failure-resilient) and the unknown-bound time-adaptive
 algorithm (Alur–Attiya–Taubenfeld style).
+
+Robustness beyond timing: the Dubois–Guerraoui speculative
+self-stabilizing token mutex (survives arbitrary transient register
+corruption) and Golab's recoverable consensus (survives crash-restart
+with persistent registers).
 """
 
 from .aat_consensus import AatConsensus
@@ -15,9 +20,16 @@ from .bakery import BakeryLock
 from .bar_david import BarDavidLock
 from .base import DurationFn, MutexAlgorithm, MutexProperties, mutex_session
 from .black_white_bakery import BLACK, WHITE, BlackWhiteBakeryLock
+from .dg_mutex import (
+    DGTokenMutex,
+    speculative_bound,
+    stabilizing_ring,
+    stabilizing_session,
+)
 from .fischer import FREE, FischerLock
 from .lamport_fast import LamportFastLock
 from .peterson import FilterLock, PetersonTwoProcess
+from .recoverable import RecoverableConsensus
 from .rmw import CasConsensus, TestAndSetLock, TicketLock
 from .tournament import TournamentLock
 
@@ -42,4 +54,9 @@ __all__ = [
     "TicketLock",
     "TestAndSetLock",
     "CasConsensus",
+    "DGTokenMutex",
+    "stabilizing_session",
+    "stabilizing_ring",
+    "speculative_bound",
+    "RecoverableConsensus",
 ]

@@ -1,0 +1,88 @@
+"""Recoverable consensus (Golab, "The Recoverable Consensus Hierarchy",
+arXiv:1804.10597).
+
+Golab studies consensus in the *crash-recovery* model: a process may crash
+at any point and later restart with a **fresh program** (all local state —
+program counter included — lost) over **persistent** shared memory.  An
+object solves recoverable consensus when agreement and validity survive
+any number of such crash-restart cycles.
+
+A bare CAS cell is *not* enough on its own: a process that wins the CAS
+and crashes before announcing cannot, on restart, tell whether the value
+in the cell is its own proposal or a value it must adopt — with a fresh
+program it no longer remembers what it proposed.  The standard recoverable
+construction (and this module) pairs the CAS cell ``C`` with a persistent
+decision register ``D``:
+
+.. code-block:: none
+
+    propose(v):
+      1  if D != ⊥: decide D          # recovery fast path
+      2  CAS(C, ⊥, v)
+      3  w := read C                  # the unique winner
+      4  D := w
+      5  decide w
+
+Every line is safe to re-execute from scratch after a crash: the CAS
+decides at most once, every writer of ``D`` writes the same ``w``, and a
+restarted process that observes ``D != ⊥`` adopts the recorded decision
+without touching ``C``.  Agreement therefore holds across any crash
+pattern, and validity holds because ``C`` only ever contains a proposal.
+
+What is *not* covered: a :class:`~repro.sim.failures.MemoryFault` on ``D``
+forges a decision — persistent memory corruption is outside the
+crash-recovery contract (recoverability is about losing *volatile* state,
+not about byzantine registers); the self-stabilizing side of this package
+(:mod:`~repro.algorithms.dg_mutex`) is the tool for that fault class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim import ops
+from ..sim.process import Program
+from ..sim.registers import RegisterNamespace
+
+__all__ = ["RecoverableConsensus"]
+
+_BOTTOM = None
+
+
+class RecoverableConsensus:
+    """Consensus that survives crash-restart cycles over persistent registers.
+
+    ``propose`` is *idempotent under re-execution*: running it again from
+    the top (which is exactly what a crash-recovery restart does) can only
+    re-derive or adopt the already-fixed decision, never change it.
+    """
+
+    name = "golab_consensus"
+
+    def __init__(self, namespace: Optional[RegisterNamespace] = None) -> None:
+        ns = (
+            namespace
+            if namespace is not None
+            else RegisterNamespace.unique("golab_consensus")
+        )
+        self.cell = ns.register("C", _BOTTOM)  # CAS cell: fixes the winner
+        self.decision = ns.register("D", _BOTTOM)  # persistent decision record
+
+    def propose(self, pid: int, value: Any) -> Program:
+        if value is _BOTTOM:
+            raise ValueError("proposal must not be None (None encodes ⊥)")
+        # Line 1 — recovery fast path: a previous incarnation (ours or any
+        # other process's) already recorded the decision.
+        recorded = yield self.decision.read()
+        if recorded is not _BOTTOM:
+            yield ops.label(ops.DECIDED, recorded)
+            return recorded
+        # Lines 2–5.
+        yield ops.compare_and_swap(self.cell, _BOTTOM, value)
+        winner = yield self.cell.read()
+        yield self.decision.write(winner)
+        yield ops.label(ops.DECIDED, winner)
+        return winner
+
+    def __repr__(self) -> str:
+        return "RecoverableConsensus()"

@@ -235,6 +235,40 @@ def _chaos_fischer_campaign() -> Dict[str, int]:
     }
 
 
+def _recover_stabilize_n3() -> Dict[str, int]:
+    """Recover campaign on the DG stabilizing mutex: corrupt, crash, converge.
+
+    Three fixed-seed schedules of corruption bursts plus crash/restart
+    pairs, each required to end in a stabilization verdict.  All counters
+    are deterministic pipeline sizes — drift means the recover scheduler,
+    the restart fast-forward, or the stabilization monitor changed
+    behaviour.
+    """
+    # Imported here to keep repro.bench importable without the chaos layer.
+    from ..chaos import run_sim_campaign, sample_recover_campaign, sim_target
+
+    target = sim_target("dg_mutex_n3")
+    # This seed draws 2 corruption bursts AND 2 crash/restart pairs, so
+    # the scenario covers the whole recover machinery, fast-forward
+    # included.
+    campaign = sample_recover_campaign(
+        "bench-recover-4", pids=target.pids,
+        corruption_registers=target.corruptible,
+    )
+    assert campaign.recover_at, "seed must draw at least one restart"
+    report = run_sim_campaign(target, campaign, schedules=3)
+    assert report.ok and report.converged
+    verdict = report.first_verdict
+    assert verdict is not None
+    return {
+        "recover_schedules_run": report.schedules_run,
+        "recover_verdicts": report.verdicts,
+        "recover_fault_count": campaign.fault_count,
+        "recover_restarts": len(campaign.recover_at),
+        "recover_first_verdict_step": verdict.step,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Parallel scenarios: the seed-sharded worker fabric.
 # ---------------------------------------------------------------------------
@@ -399,6 +433,12 @@ _REGISTRY: List[Scenario] = [
         "chaos campaign on Fischer n=3: find a violation, ddmin-shrink it",
         quick=True,
         fn=_chaos_fischer_campaign,
+    ),
+    Scenario(
+        "recover/stabilize_n3",
+        "recover campaign on the DG ring: corrupt + crash/restart, 3 verdicts",
+        quick=True,
+        fn=_recover_stabilize_n3,
     ),
     Scenario(
         "parallel/fuzz_shard_overhead",

@@ -1,12 +1,15 @@
 """``repro.chaos`` — cross-substrate fault campaigns, shrinking, artifacts.
 
 The robustness layer: one :class:`~repro.chaos.plan.Campaign` algebra
-composes sim-side faults (timing windows, crashes, memory corruptions)
-and net-side faults (loss, delay spikes, partitions); online monitors
-check stabilization and convergence *during* runs; a delta-debugging
-shrinker minimizes failing ``(campaign, payload, seed)`` triples; and
-JSON artifacts replay violations bit-identically anywhere
-(``python -m repro.chaos run|shrink|replay``).
+composes sim-side faults (timing windows, crashes, crash-recovery
+restarts, memory corruptions) and net-side faults (loss, delay spikes,
+partitions); online monitors check stabilization and convergence
+*during* runs — including the recover discipline, where transient
+violations are tolerated inside a stabilization window and convergence
+afterwards is the archived evidence; a delta-debugging shrinker
+minimizes failing ``(campaign, payload, seed)`` triples; and JSON
+artifacts replay violations (or convergence verdicts) bit-identically
+anywhere (``python -m repro.chaos run|shrink|replay``).
 """
 
 from .artifact import (
@@ -14,6 +17,7 @@ from .artifact import (
     ReplayReport,
     artifact_from_net,
     artifact_from_sim,
+    artifact_from_sim_verdict,
     load_artifact,
     replay,
     save_artifact,
@@ -23,8 +27,10 @@ from .monitors import (
     ChaosViolation,
     ConvergenceMonitor,
     SafetyMonitor,
+    StabilizationMonitor,
     TraceResilienceMonitor,
     default_monitors,
+    stabilization_monitors,
 )
 from .plan import (
     Campaign,
@@ -32,6 +38,7 @@ from .plan import (
     campaign_from_dict,
     campaign_to_dict,
     sample_net_campaign,
+    sample_recover_campaign,
     sample_sim_campaign,
 )
 from .runner import (
@@ -57,12 +64,15 @@ __all__ = [
     "campaign_from_dict",
     "sample_sim_campaign",
     "sample_net_campaign",
+    "sample_recover_campaign",
     "ChaosMonitor",
     "ChaosViolation",
     "SafetyMonitor",
     "ConvergenceMonitor",
+    "StabilizationMonitor",
     "TraceResilienceMonitor",
     "default_monitors",
+    "stabilization_monitors",
     "SimTarget",
     "SIM_TARGETS",
     "sim_target",
@@ -82,6 +92,7 @@ __all__ = [
     "Artifact",
     "ReplayReport",
     "artifact_from_sim",
+    "artifact_from_sim_verdict",
     "artifact_from_net",
     "save_artifact",
     "load_artifact",

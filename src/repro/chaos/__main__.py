@@ -31,7 +31,11 @@ from .artifact import (
     replay,
     save_artifact,
 )
-from .plan import sample_net_campaign, sample_sim_campaign
+from .plan import (
+    sample_net_campaign,
+    sample_recover_campaign,
+    sample_sim_campaign,
+)
 from .runner import (
     DEFAULT_MAX_STEPS,
     SIM_TARGETS,
@@ -70,8 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--crash-prob", type=float, default=0.0)
     run.add_argument("--max-steps", type=int, default=DEFAULT_MAX_STEPS)
     run.add_argument(
-        "--expect", choices=("clean", "violation", "any"), default="any",
-        help="what outcome is success (drives the exit code)",
+        "--expect", choices=("clean", "violation", "recover", "any"),
+        default="any",
+        help="what outcome is success (drives the exit code); 'recover' "
+             "additionally demands a stabilization verdict from every "
+             "schedule (recover targets only)",
     )
     run.add_argument("--workers", type=int, default=1, metavar="N",
                      help="shard each campaign's schedule range over N "
@@ -79,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: 1)")
     run.add_argument("--timing-json", type=Path, default=None, metavar="FILE",
                      help="write per-shard wall/throughput telemetry here")
+    run.add_argument("--trace", type=Path, default=None, metavar="FILE",
+                     help="write every run's structured trace (repro.obs "
+                          "JSONL, global run-index order) here; "
+                          "byte-identical across --workers counts "
+                          "(sim substrate only)")
     run.add_argument("--shrink", action="store_true",
                      help="minimize the first failing run")
     run.add_argument("--artifact-dir", type=Path, default=None,
@@ -108,6 +120,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.trace is not None and args.substrate != "sim":
+        print("--trace is sim-only", file=sys.stderr)
+        return 2
+    if args.expect == "recover" and (
+        args.substrate != "sim" or not sim_target(args.target).recover
+    ):
+        print(
+            "--expect recover needs a sim recover target "
+            f"({', '.join(sorted(n for n, t in SIM_TARGETS.items() if t.recover))})",
+            file=sys.stderr,
+        )
+        return 2
     summary: Dict[str, Any] = {
         "substrate": args.substrate,
         "seed": args.seed,
@@ -115,14 +139,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     }
     hits = 0
     timing: List[Dict[str, Any]] = []
+    trace_records: List[Dict[str, Any]] = []
     # One pool for the whole invocation: spawning workers (each imports
     # the package from scratch) dominates, mapping shards is cheap.
     pool = WorkerPool(args.workers) if args.workers > 1 else None
     try:
-        hits = _run_campaigns(args, summary, timing, pool)
+        hits = _run_campaigns(args, summary, timing, trace_records, pool)
     finally:
         if pool is not None:
             pool.close()
+    if args.trace is not None:
+        from repro.obs import write_jsonl
+
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        count = write_jsonl(trace_records, str(args.trace))
+        print(f"trace: {count} record(s) -> {args.trace}")
     if args.timing_json is not None:
         args.timing_json.parent.mkdir(parents=True, exist_ok=True)
         args.timing_json.write_text(json.dumps(
@@ -138,6 +169,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     if args.expect == "violation" and not hits:
         return 1
+    if args.expect == "recover" and (
+        hits or not all(e.get("converged") for e in summary["campaigns"])
+    ):
+        return 1
     return 0
 
 
@@ -145,6 +180,7 @@ def _run_campaigns(
     args: argparse.Namespace,
     summary: Dict[str, Any],
     timing: List[Dict[str, Any]],
+    trace_records: List[Dict[str, Any]],
     pool,
 ) -> int:
     hits = 0
@@ -152,18 +188,31 @@ def _run_campaigns(
         campaign_seed = f"{args.seed}-{index}"
         if args.substrate == "sim":
             target = sim_target(args.target)
-            campaign = sample_sim_campaign(
-                campaign_seed,
-                pids=target.pids,
-                windows=args.windows,
-                severity=args.severity,
-                crash_prob=args.crash_prob,
-            )
+            if target.recover:
+                # Recover targets get the fault mix they exist for:
+                # corruption bursts plus crash/restart pairs, all inside
+                # a declared transient prefix.
+                campaign = sample_recover_campaign(
+                    campaign_seed,
+                    pids=target.pids,
+                    corruption_registers=target.corruptible,
+                )
+            else:
+                campaign = sample_sim_campaign(
+                    campaign_seed,
+                    pids=target.pids,
+                    windows=args.windows,
+                    severity=args.severity,
+                    crash_prob=args.crash_prob,
+                )
             report = run_sim_campaign(
                 target, campaign,
                 schedules=args.schedules, max_steps=args.max_steps,
                 workers=args.workers, pool=pool,
+                trace=args.trace is not None,
             )
+            for _run_index, records in report.trace_chunks:
+                trace_records.extend(records)
         else:
             params = NetParams()
             campaign = sample_net_campaign(
@@ -182,9 +231,25 @@ def _run_campaigns(
             "schedules_run": report.schedules_run,
             "ok": report.ok,
         }
+        if args.substrate == "sim" and sim_target(args.target).recover:
+            entry["verdicts"] = report.verdicts
+            entry["converged"] = report.converged
+            if report.first_verdict is not None:
+                entry["first_verdict"] = {
+                    "monitor": report.first_verdict.monitor,
+                    "message": report.first_verdict.message,
+                    "step": report.first_verdict.step,
+                }
         print(f"[{campaign_seed}] {campaign.describe()}")
         if report.ok:
-            print(f"  clean after {report.schedules_run} schedule(s)")
+            if "converged" in entry:
+                status = "converged" if entry["converged"] else "NOT CONVERGED"
+                print(
+                    f"  {status}: {report.verdicts}/{report.schedules_run} "
+                    f"schedule(s) produced a stabilization verdict"
+                )
+            else:
+                print(f"  clean after {report.schedules_run} schedule(s)")
         else:
             hits += 1
             outcome = report.failing

@@ -35,8 +35,10 @@ from .shrink import ShrinkResult
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ARTIFACT_KINDS",
     "Artifact",
     "artifact_from_sim",
+    "artifact_from_sim_verdict",
     "artifact_from_net",
     "attach_observability",
     "save_artifact",
@@ -52,8 +54,14 @@ __all__ = [
 #       timeliness graph of the replayed trace, repro.obs.timeliness).
 #       Loading stays tolerant of schema-1 files: the sidecars are
 #       simply absent.
-SCHEMA_VERSION = 2
-_READABLE_SCHEMAS = (1, 2)
+#   3 — adds "kind": "violation" (the default; absent in older files)
+#       archives a failing run, "stabilization" archives a *converged*
+#       recover run whose "violation" slot holds the stabilization
+#       verdict — replay then demands zero violations plus the identical
+#       verdict, instead of an identical violation.
+SCHEMA_VERSION = 3
+_READABLE_SCHEMAS = (1, 2, 3)
+ARTIFACT_KINDS = ("violation", "stabilization")
 
 
 @dataclass(frozen=True)
@@ -65,6 +73,9 @@ class Artifact:
     campaign: Campaign
     payload: Any
     violation: ChaosViolation
+    # "violation" or "stabilization"; for the latter ``violation`` holds
+    # the convergence verdict (a ChaosViolation-shaped measurement).
+    kind: str = "violation"
     target: Optional[str] = None  # sim: SIM_TARGETS name
     run_seed: Optional[str] = None
     max_steps: int = DEFAULT_MAX_STEPS  # sim replay budget
@@ -74,9 +85,18 @@ class Artifact:
     net_stats: Optional[Dict[str, int]] = field(default=None, compare=False)
     timeliness: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
+    def __post_init__(self) -> None:
+        if self.kind not in ARTIFACT_KINDS:
+            raise ValueError(
+                f"kind must be one of {ARTIFACT_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "stabilization" and self.substrate != "sim":
+            raise ValueError("stabilization artifacts are sim-only")
+
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
             "schema": SCHEMA_VERSION,
+            "kind": self.kind,
             "substrate": self.substrate,
             "campaign": campaign_to_dict(self.campaign),
             "violation": {
@@ -132,6 +152,7 @@ class Artifact:
             campaign=campaign_from_dict(data["campaign"]),
             payload=payload,
             violation=violation,
+            kind=data.get("kind", "violation"),
             target=data.get("target"),
             run_seed=data.get("run_seed"),
             max_steps=max_steps,
@@ -180,6 +201,36 @@ def artifact_from_sim(
         run_seed=outcome.run_seed,
         max_steps=max_steps,
         provenance=_provenance(shrunk),
+    )
+
+
+def artifact_from_sim_verdict(
+    target_name: str,
+    outcome: SimOutcome,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Artifact:
+    """Package a *converged* recover run as a stabilization artifact.
+
+    The archived evidence is the stabilization verdict: replay re-runs
+    the schedule and demands zero violations plus the byte-identical
+    verdict — same tolerated count, same settle time.
+    """
+    if outcome.violations:
+        raise ValueError("a stabilization artifact needs a violation-free run")
+    if not outcome.verdicts:
+        raise ValueError(
+            "the run produced no stabilization verdict (did it converge, "
+            "and was the target a recover target?)"
+        )
+    return Artifact(
+        substrate="sim",
+        campaign=outcome.campaign,
+        payload=outcome.schedule,
+        violation=outcome.verdicts[0],
+        kind="stabilization",
+        target=target_name,
+        run_seed=outcome.run_seed,
+        max_steps=max_steps,
     )
 
 
@@ -232,7 +283,14 @@ def attach_observability(artifact: Artifact) -> Artifact:
                 artifact.campaign,
                 schedule=list(artifact.payload),
                 max_steps=artifact.max_steps,
-                stop_monitor=artifact.violation.monitor,
+                # A stabilization artifact's replay runs to completion
+                # (the verdict lives in finalize); a violation artifact
+                # stops where the archived monitor fires.
+                stop_monitor=(
+                    None
+                    if artifact.kind == "stabilization"
+                    else artifact.violation.monitor
+                ),
             )
         else:
             outcome = run_net(
@@ -274,8 +332,56 @@ class ReplayReport:
         return f"ReplayReport({status}: {self.detail})"
 
 
+def _replay_stabilization(artifact: Artifact) -> ReplayReport:
+    """Stabilization artifacts replay to *convergence*, not to a failure:
+    the run must stay violation-free and re-derive the identical verdict."""
+    expected = artifact.violation
+    outcome = run_sim(
+        sim_target(artifact.target),
+        artifact.campaign,
+        schedule=list(artifact.payload),
+        max_steps=artifact.max_steps,
+    )
+    if outcome.violations:
+        actual = outcome.violations[0]
+        return ReplayReport(
+            ok=False,
+            expected=expected,
+            actual=actual,
+            detail=f"replay did not converge: {actual!r}",
+        )
+    actual = next(
+        (v for v in outcome.verdicts if v.monitor == expected.monitor), None
+    )
+    if actual is None:
+        return ReplayReport(
+            ok=False,
+            expected=expected,
+            actual=None,
+            detail=f"replay produced no {expected.monitor!r} verdict",
+        )
+    if actual != expected:
+        return ReplayReport(
+            ok=False,
+            expected=expected,
+            actual=actual,
+            detail=f"verdict drifted: expected {expected!r}, got {actual!r}",
+        )
+    return ReplayReport(
+        ok=True,
+        expected=expected,
+        actual=actual,
+        detail=(
+            f"{expected.monitor} verdict @step {expected.step} reproduced; "
+            f"zero violations"
+        ),
+    )
+
+
 def replay(artifact: Artifact) -> ReplayReport:
     """Re-execute the artifact's run and compare violations exactly."""
+    if artifact.kind == "stabilization":
+        return _replay_stabilization(artifact)
     expected = artifact.violation
     if artifact.substrate == "sim":
         outcome = run_sim(

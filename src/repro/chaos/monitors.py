@@ -42,8 +42,10 @@ __all__ = [
     "ChaosMonitor",
     "SafetyMonitor",
     "ConvergenceMonitor",
+    "StabilizationMonitor",
     "TraceResilienceMonitor",
     "default_monitors",
+    "stabilization_monitors",
 ]
 
 
@@ -200,11 +202,114 @@ class TraceResilienceMonitor(ChaosMonitor):
         self.report = check_resilience(
             trace,
             psi_deltas=self.psi_deltas,
-            last_failure=max(last, trace.last_failure_time),
+            # Crash-recovery: a restart is the end of a transient fault,
+            # so the convergence clock must not start before the last one.
+            last_failure=max(
+                last, trace.last_failure_time, trace.last_restart_time
+            ),
         )
         if self.report.resilient:
             return None
         return "; ".join(self.report.violations) or "not resilient"
+
+
+class StabilizationMonitor(ChaosMonitor):
+    """Self-stabilization: transient fault → finite convergence to legality.
+
+    The inversion of :class:`SafetyMonitor`: a stabilizing target is
+    *allowed* to violate its safety properties while the campaign's faults
+    are active and for a ``window`` of steps afterwards — that is what
+    "arbitrary transient state" means.  What it must do is **converge**:
+    once the stabilization window closes at
+    ``last_disruption_end + window``, any further violation of any
+    property is a real failure and fires once, like every chaos monitor.
+
+    A run that ends without firing produces a **verdict** instead — a
+    :class:`ChaosViolation`-shaped record (``monitor="stabilization"``)
+    stating how many violating states were tolerated and how many steps
+    past the last fault the system took to settle.  The verdict is the
+    evidence a committed artifact replays bit-identically: same campaign,
+    same schedule, same convergence measurement.  No verdict is produced
+    when a non-crashed process failed to finish — non-convergence is the
+    :class:`ConvergenceMonitor`'s verdict to give.
+    """
+
+    name = "stabilization"
+
+    def __init__(
+        self,
+        properties: List[SafetyProperty],
+        campaign: Campaign,
+        window: int = 200,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.properties = list(properties)
+        self.quiet_after = campaign.last_disruption_end
+        self.window = window
+        self._fired = False
+        self._tolerated = 0  # violating states inside the window
+        self._settled_at: Optional[int] = None  # clock of the last one
+        self.verdict: Optional[ChaosViolation] = None
+
+    @property
+    def deadline(self) -> float:
+        """First logical instant at which violations stop being tolerated."""
+        return self.quiet_after + self.window
+
+    def reset(self) -> None:
+        self._fired = False
+        self._tolerated = 0
+        self._settled_at = None
+        self.verdict = None
+
+    def on_step(
+        self, sandbox: Sandbox, clock: int, halted: FrozenSet[int]
+    ) -> Optional[str]:
+        if self._fired:
+            return None
+        for prop in self.properties:
+            message = prop.check(sandbox)
+            if message is None:
+                continue
+            if clock < self.deadline:
+                self._tolerated += 1
+                self._settled_at = clock
+                return None
+            self._fired = True
+            return (
+                f"{prop.name} still violated at step {clock}, after the "
+                f"stabilization window closed at {self.deadline:g}: {message}"
+            )
+        return None
+
+    def finalize(
+        self, sandbox: Sandbox, clock: int, halted: FrozenSet[int]
+    ) -> Optional[str]:
+        if self._fired:
+            return None
+        unfinished = [
+            pid
+            for pid in (*sandbox.enabled(), *sandbox.suspended())
+            if pid not in halted
+        ]
+        if unfinished:
+            return None  # not converged — the convergence monitor's call
+        settled = (
+            0.0
+            if self._settled_at is None
+            else max(0.0, self._settled_at - self.quiet_after)
+        )
+        self.verdict = ChaosViolation(
+            monitor=self.name,
+            message=(
+                f"converged: tolerated {self._tolerated} violating state(s) "
+                f"inside the stabilization window, settled {settled:g} "
+                f"step(s) after the last fault at {self.quiet_after:g}"
+            ),
+            step=clock,
+        )
+        return None
 
 
 def default_monitors(
@@ -216,3 +321,28 @@ def default_monitors(
     monitors: List[ChaosMonitor] = [SafetyMonitor(p) for p in properties]
     monitors.append(ConvergenceMonitor(campaign, budget=convergence_budget))
     return monitors
+
+
+def stabilization_monitors(
+    properties: List[SafetyProperty],
+    campaign: Campaign,
+    convergence_budget: int = 200,
+    window: Optional[int] = None,
+) -> List[ChaosMonitor]:
+    """The monitor set for self-stabilizing/recoverable targets.
+
+    One :class:`StabilizationMonitor` guards *all* properties (tolerating
+    transient violations inside the window, verdicting on convergence),
+    and the :class:`ConvergenceMonitor` still demands termination.
+    ``window`` defaults to the convergence budget, but callers usually
+    want it much tighter: the budget bounds *termination* of busy-wait
+    code (generously), while the window bounds how long illegal states
+    may linger — a window wider than the run proves nothing.
+    """
+    return [
+        StabilizationMonitor(
+            properties, campaign,
+            window=convergence_budget if window is None else window,
+        ),
+        ConvergenceMonitor(campaign, budget=convergence_budget),
+    ]

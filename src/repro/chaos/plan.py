@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..net.faults import DelaySpike, MessageLoss, NetFaultPlan, Partition
-from ..sim.failures import CrashSchedule, TimingFailureWindow
+from ..sim.failures import CrashSchedule, RecoverSchedule, TimingFailureWindow
 from ..sim.timing import FailureWindowTiming, TimingModel
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "campaign_from_dict",
     "sample_sim_campaign",
     "sample_net_campaign",
+    "sample_recover_campaign",
 ]
 
 SUBSTRATES = ("sim", "net")
@@ -92,6 +93,11 @@ class Campaign:
     crash_at: Tuple[Tuple[int, float], ...] = ()
     crash_after: Tuple[Tuple[int, int], ...] = ()
     corruptions: Tuple[MemCorruption, ...] = ()
+    # crash-recovery restarts (pid, logical time): the pid resumes with a
+    # fresh program instance over persistent registers.  A recover entry
+    # whose pid never crashed (or whose time precedes the crash) is a
+    # no-op — the shrinker may orphan entries freely.
+    recover_at: Tuple[Tuple[int, float], ...] = ()
     # net-side faults (virtual-time windows on the transport)
     losses: Tuple[MessageLoss, ...] = ()
     spikes: Tuple[DelaySpike, ...] = ()
@@ -113,6 +119,15 @@ class Campaign:
             if pid in seen:
                 raise ValueError(f"pid {pid} appears twice in the crash plan")
             seen.add(pid)
+        seen_recover = set()
+        for pid, when in self.recover_at:
+            if not (when >= 0):
+                raise ValueError(
+                    f"recover point for pid {pid} must be >= 0, got {when}"
+                )
+            if pid in seen_recover:
+                raise ValueError(f"pid {pid} appears twice in the recover plan")
+            seen_recover.add(pid)
 
     # -- size / bookkeeping --------------------------------------------------
 
@@ -124,6 +139,7 @@ class Campaign:
             + len(self.crash_at)
             + len(self.crash_after)
             + len(self.corruptions)
+            + len(self.recover_at)
             + len(self.losses)
             + len(self.spikes)
             + len(self.partitions)
@@ -133,13 +149,16 @@ class Campaign:
     def last_disruption_end(self) -> float:
         """When the last finite *transient* fault window closes (0 if none).
 
-        Crashes are permanent (not disruptions that "stop"), so only
-        timing windows, corruptions and the net fault windows count.
-        This is where the resilience definition's convergence clock
-        starts: the campaign's declared failure-free suffix begins here.
+        A crash with no recovery is permanent (not a disruption that
+        "stops"), so only timing windows, corruptions, restarts and the
+        net fault windows count — a crash+restart pair is a transient
+        fault whose disruption ends at the restart.  This is where the
+        resilience definition's convergence clock starts: the campaign's
+        declared failure-free suffix begins here.
         """
         ends = [w.end for w in self.windows]
         ends += [c.at for c in self.corruptions]
+        ends += [t for _pid, t in self.recover_at]
         ends += [w.end for w in (*self.losses, *self.spikes, *self.partitions)]
         finite = [e for e in ends if math.isfinite(e)]
         return max(finite) if finite else 0.0
@@ -155,6 +174,7 @@ class Campaign:
             ("crash_at", self.crash_at),
             ("crash_after", self.crash_after),
             ("corruptions", self.corruptions),
+            ("recover_at", self.recover_at),
             ("losses", self.losses),
             ("spikes", self.spikes),
             ("partitions", self.partitions),
@@ -171,6 +191,10 @@ class Campaign:
             at_time=dict(self.crash_at),
             after_steps=dict(self.crash_after),
         )
+
+    def recover_schedule(self) -> RecoverSchedule:
+        """The timed engine's crash-recovery restart description."""
+        return RecoverSchedule(at_time=dict(self.recover_at))
 
     def net_plan(self) -> NetFaultPlan:
         """The transport-facing fault plan (net-side windows only)."""
@@ -233,6 +257,7 @@ def campaign_to_dict(campaign: Campaign) -> Dict[str, Any]:
         "windows": [_window_to_dict(w) for w in campaign.windows],
         "crash_at": [[pid, t] for pid, t in campaign.crash_at],
         "crash_after": [[pid, k] for pid, k in campaign.crash_after],
+        "recover_at": [[pid, t] for pid, t in campaign.recover_at],
         "corruptions": [
             {"at": c.at, "register": c.register, "value": c.value}
             for c in campaign.corruptions
@@ -276,6 +301,9 @@ def campaign_from_dict(data: Dict[str, Any]) -> Campaign:
         crash_at=tuple((int(p), float(t)) for p, t in data.get("crash_at", ())),
         crash_after=tuple(
             (int(p), int(k)) for p, k in data.get("crash_after", ())
+        ),
+        recover_at=tuple(
+            (int(p), float(t)) for p, t in data.get("recover_at", ())
         ),
         corruptions=tuple(
             MemCorruption(at=float(c["at"]), register=c["register"],
@@ -446,4 +474,56 @@ def sample_net_campaign(
         losses=tuple(losses),
         spikes=tuple(spikes),
         partitions=tuple(partitions),
+    )
+
+
+def sample_recover_campaign(
+    seed: Any,
+    pids: Sequence[int],
+    horizon: float = 120.0,
+    corruption_registers: Sequence[str] = (),
+    corruptions: int = 2,
+    crash_prob: float = 0.5,
+    recover_delay: Tuple[float, float] = (5.0, 20.0),
+) -> Campaign:
+    """A recover campaign: corruption bursts plus crash/restart pairs.
+
+    Built for *stabilizing/recoverable* targets, so every fault is
+    transient by construction — corruptions are instants, and each drawn
+    crash comes with a restart ``recover_delay`` later.  All fault times
+    land in the first half of the horizon, leaving a declared
+    failure-free suffix for the
+    :class:`~repro.chaos.monitors.StabilizationMonitor` to judge
+    convergence in.  No timing windows: delay provides no guarantee under
+    the sandbox semantics anyway, and these targets are asynchronous.
+    """
+    if not (0.0 <= crash_prob <= 1.0):
+        raise ValueError(f"crash_prob must be in [0, 1], got {crash_prob}")
+    if corruptions < 0:
+        raise ValueError(f"corruptions must be >= 0, got {corruptions}")
+    rng = _campaign_rng(seed)
+    pid_list = list(pids)
+    names = list(corruption_registers)
+    drawn: List[MemCorruption] = []
+    for _ in range(corruptions if names else 0):
+        drawn.append(
+            MemCorruption(
+                at=rng.uniform(0.0, horizon * 0.5),
+                register=rng.choice(names),
+                value=rng.randint(0, len(pid_list)),
+            )
+        )
+    crash_at: List[Tuple[int, float]] = []
+    recover_at: List[Tuple[int, float]] = []
+    for pid in pid_list:
+        if rng.random() < crash_prob:
+            crashed = rng.uniform(0.0, horizon * 0.3)
+            crash_at.append((pid, crashed))
+            recover_at.append((pid, crashed + rng.uniform(*recover_delay)))
+    return Campaign(
+        substrate="sim",
+        seed=str(seed),
+        corruptions=tuple(sorted(drawn, key=lambda c: (c.at, c.register))),
+        crash_at=tuple(crash_at),
+        recover_at=tuple(recover_at),
     )

@@ -61,7 +61,12 @@ from ..verify.properties import (
     ValidityProperty,
 )
 from ..verify.sandbox import ProgramFactory, Sandbox, op_kind, op_register
-from .monitors import ChaosMonitor, ChaosViolation, default_monitors
+from .monitors import (
+    ChaosMonitor,
+    ChaosViolation,
+    default_monitors,
+    stabilization_monitors,
+)
 from .plan import Campaign
 
 __all__ = [
@@ -80,6 +85,15 @@ __all__ = [
 ]
 
 DEFAULT_MAX_STEPS = 400
+
+# Post-fault steps a recover target gets to become legal again before any
+# further safety violation is a real failure.  Deliberately much tighter
+# than the convergence budget (which bounds *termination*): Dijkstra's
+# ring drains corruption in O(n·(n+K)) moves, so 150 logical steps is
+# generous for the n=3 targets while keeping the window's close well
+# inside the default step budget — a window the run never outlives would
+# make "no violations after the window" vacuous.
+STABILIZATION_WINDOW = 150
 
 
 # ---------------------------------------------------------------------------
@@ -105,6 +119,15 @@ class SimTarget:
     max_ops: int
     pids: Tuple[int, ...]
     expect_violation: bool  # documentation: does a violation exist at all?
+    # Stabilizing/recoverable targets: judged with stabilization monitors
+    # (transient violations tolerated inside the window, convergence
+    # verdicted) instead of the default set, and the natural prey of
+    # recover campaigns (crash+restart pairs, corruption bursts).
+    recover: bool = False
+    # Register names a recover campaign may corrupt.  Sampling guidance
+    # only — resolution still goes through the ``build()`` registers
+    # table, which stays the single source of truth for validation.
+    corruptible: Tuple[str, ...] = ()
 
 
 def _build_fischer_n3():
@@ -142,6 +165,29 @@ def _build_consensus_n4():
     return factories, [AgreementProperty(), ValidityProperty(inputs)], {}
 
 
+def _build_dg_mutex_n3():
+    from ..algorithms import stabilizing_ring
+
+    lock, factory = stabilizing_ring(3, sessions=1, cs_duration=1.0)
+    factories = {pid: factory for pid in range(3)}
+    registers = {f"S{i}": lock.cells[i] for i in range(3)}
+    return factories, [MutualExclusionProperty()], registers
+
+
+def _build_golab_consensus_n3():
+    from ..algorithms import RecoverableConsensus
+
+    consensus = RecoverableConsensus()
+    inputs = {pid: pid + 1 for pid in range(3)}  # None encodes ⊥: stay nonzero
+    factories = {
+        pid: (lambda p: consensus.propose(p, inputs[p])) for pid in inputs
+    }
+    # No corruptible registers: scrambling the persistent decision record
+    # forges a decision, which is outside the crash-recovery contract
+    # (see repro.algorithms.recoverable) — so none are declared.
+    return factories, [AgreementProperty(), ValidityProperty(inputs)], {}
+
+
 SIM_TARGETS: Dict[str, SimTarget] = {
     t.name: t
     for t in (
@@ -168,6 +214,25 @@ SIM_TARGETS: Dict[str, SimTarget] = {
             max_ops=80,
             pids=(0, 1, 2, 3),
             expect_violation=False,
+        ),
+        SimTarget(
+            "dg_mutex_n3",
+            "DG self-stabilizing token mutex, 3 processes (must converge)",
+            _build_dg_mutex_n3,
+            max_ops=300,
+            pids=(0, 1, 2),
+            expect_violation=False,
+            recover=True,
+            corruptible=("S0", "S1", "S2"),
+        ),
+        SimTarget(
+            "golab_consensus_n3",
+            "Golab recoverable consensus, 3 processes (survives restarts)",
+            _build_golab_consensus_n3,
+            max_ops=60,
+            pids=(0, 1, 2),
+            expect_violation=False,
+            recover=True,
         ),
     )
 }
@@ -197,6 +262,10 @@ class SimOutcome:
     steps: int = 0
     done: bool = False  # every process ran to completion
     run_seed: Optional[str] = None
+    # Positive evidence from monitors that measure rather than reject —
+    # e.g. the StabilizationMonitor's convergence verdict.  Only produced
+    # on runs that end without a violation stopping them.
+    verdicts: List[ChaosViolation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -238,12 +307,29 @@ def run_sim(
     if campaign.substrate != "sim":
         raise ValueError(f"expected a sim campaign, got {campaign.substrate!r}")
     factories, properties, registers = target.build()
+    # Validate the corruption plan eagerly: a typo'd register name must
+    # fail loudly up front, not silently no-op because the clock never
+    # reached the corruption instant (or worse, only explode mid-run).
+    for corruption in campaign.corruptions:
+        if corruption.register not in registers:
+            raise ValueError(
+                f"campaign corrupts unknown register {corruption.register!r}; "
+                f"target {target.name!r} declares {sorted(registers)}"
+            )
     if monitors is None:
         # Busy-wait step complexity is unbounded under adversarial
         # interleavings, so the "still churning" budget scales with the
         # target's total op budget rather than using a fixed constant.
         budget = max(200, 2 * target.max_ops * len(target.pids))
-        monitors = default_monitors(properties, campaign, convergence_budget=budget)
+        if target.recover:
+            monitors = stabilization_monitors(
+                properties, campaign,
+                convergence_budget=budget, window=STABILIZATION_WINDOW,
+            )
+        else:
+            monitors = default_monitors(
+                properties, campaign, convergence_budget=budget
+            )
     for monitor in monitors:
         monitor.reset()
     sandbox = Sandbox(factories, max_ops=target.max_ops)
@@ -270,6 +356,7 @@ def run_sim(
 
     crash_at = dict(campaign.crash_at)
     crash_after = dict(campaign.crash_after)
+    recover_at = dict(campaign.recover_at)
     corruptions = sorted(campaign.corruptions, key=lambda c: c.at)
     next_corruption = 0
     windows = campaign.windows
@@ -286,17 +373,28 @@ def run_sim(
         nonlocal next_corruption
         while next_corruption < len(corruptions) and corruptions[next_corruption].at <= clock:
             corruption = corruptions[next_corruption]
-            try:
-                handle = registers[corruption.register]
-            except KeyError:
-                raise ValueError(
-                    f"campaign corrupts unknown register {corruption.register!r}; "
-                    f"target {target.name!r} declares {sorted(registers)}"
-                ) from None
-            sandbox.memory.poke(handle, corruption.value)
+            sandbox.memory.poke(registers[corruption.register], corruption.value)
             if tracer is not None:
                 tracer.fault(corruption.register, float(clock))
             next_corruption += 1
+
+    def apply_recoveries() -> None:
+        # Runs before refresh_halted, so a restart instant at-or-before
+        # the crash instant is a no-op (entry consumed, pid not yet
+        # halted) — as is an entry whose pid never crashed or finished
+        # first.  Orphaned entries are legal: the shrinker relies on it.
+        for pid, when in list(recover_at.items()):
+            if clock < when:
+                continue
+            del recover_at[pid]
+            if pid not in halted:
+                continue
+            halted.discard(pid)
+            crash_at.pop(pid, None)
+            crash_after.pop(pid, None)
+            sandbox.restart(pid, factories[pid])
+            if tracer is not None:
+                tracer.restart(pid, float(clock))
 
     def refresh_halted() -> None:
         for pid in sandbox.enabled():
@@ -306,6 +404,30 @@ def run_sim(
                 halted.add(pid)
                 if tracer is not None:
                     tracer.crash(pid, float(clock))
+
+    def settle() -> None:
+        # Fault bookkeeping before scheduling: corruptions and restarts
+        # due at the current instant, then fresh crashes.  When every
+        # process is done or crashed but a restart is still scheduled,
+        # idle time passes — jump the clock to the next restart instead
+        # of abandoning the run with a recovery forever pending.  The
+        # jump is a function of the reached state, so generation and
+        # replay fast-forward identically.
+        nonlocal clock
+        while True:
+            apply_corruptions()
+            apply_recoveries()
+            refresh_halted()
+            if any(p not in halted for p in sandbox.enabled()):
+                return
+            pending = [
+                when for pid, when in recover_at.items() if pid in halted
+            ]
+            if not pending:
+                return
+            # apply_recoveries consumed everything due, so the earliest
+            # pending restart is strictly in the future: ceil advances.
+            clock = max(clock, math.ceil(min(pending)))
 
     def check_monitors() -> bool:
         frozen_halted = frozenset(halted)
@@ -322,8 +444,7 @@ def run_sim(
     stopped = False
     if generating:
         while clock < max_steps:
-            apply_corruptions()
-            refresh_halted()
+            settle()
             runnable = [p for p in sandbox.enabled() if p not in halted]
             if not runnable:
                 break
@@ -347,8 +468,7 @@ def run_sim(
                 break
     else:
         for pid in schedule:
-            apply_corruptions()
-            refresh_halted()
+            settle()
             if pid in halted or pid not in sandbox.enabled():
                 continue  # tolerant replay: skip unrunnable slots
             pending = sandbox.pending_op(pid) if tracer is not None else None
@@ -365,6 +485,7 @@ def run_sim(
                 break
 
     done = (not stopped) and all(sandbox.done(pid) for pid in factories)
+    verdicts: List[ChaosViolation] = []
     if not stopped:
         frozen_halted = frozenset(halted)
         for monitor in monitors:
@@ -373,6 +494,11 @@ def run_sim(
                 violations.append(ChaosViolation(monitor.name, message, clock))
                 if tracer is not None:
                     tracer.violation(monitor.name, float(clock))
+        verdicts = [
+            monitor.verdict
+            for monitor in monitors
+            if getattr(monitor, "verdict", None) is not None
+        ]
     if tracer is not None:
         for pid in sorted(factories):
             if sandbox.done(pid):
@@ -384,6 +510,7 @@ def run_sim(
         steps=clock,
         done=done,
         run_seed=run_seed,
+        verdicts=verdicts,
     )
 
 
@@ -396,10 +523,25 @@ class CampaignReport:
     total_steps: int = 0
     failing: Optional[Any] = None  # first failing SimOutcome / NetOutcome
     shard_timing: Optional[List[Dict[str, Any]]] = None  # telemetry only
+    # Recover targets: how many runs produced a stabilization verdict,
+    # and the first such verdict (the evidence --expect recover checks).
+    verdicts: int = 0
+    first_verdict: Optional[ChaosViolation] = None
+    # (global run index, repro.obs records) per traced run, in index
+    # order — same chunk discipline as the fuzzers, so concatenating is
+    # byte-identical across worker counts.
+    trace_chunks: List[Tuple[int, List[Dict[str, Any]]]] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
         return self.failing is None
+
+    @property
+    def converged(self) -> bool:
+        """Every run finished clean with a stabilization verdict."""
+        return self.ok and self.verdicts == self.schedules_run
 
     def __repr__(self) -> str:
         status = "ok" if self.ok else f"failing at run {self.failing.run_seed!r}"
@@ -407,6 +549,28 @@ class CampaignReport:
             f"CampaignReport({status}, schedules={self.schedules_run}, "
             f"steps={self.total_steps})"
         )
+
+
+def _traced_sim_run(
+    target: SimTarget,
+    campaign: Campaign,
+    run_seed: str,
+    max_steps: int,
+    trace: bool,
+) -> Tuple[SimOutcome, Optional[List[Dict[str, Any]]]]:
+    """One generated run, optionally under a private tracer."""
+    if not trace:
+        return run_sim(
+            target, campaign, run_seed=run_seed, max_steps=max_steps
+        ), None
+    from repro.obs import Tracer, trace_scope
+
+    tracer = Tracer()
+    with trace_scope(tracer):
+        outcome = run_sim(
+            target, campaign, run_seed=run_seed, max_steps=max_steps
+        )
+    return outcome, tracer.take()
 
 
 def _sim_shard(shard, payload) -> List[Any]:
@@ -421,18 +585,20 @@ def _sim_shard(shard, payload) -> List[Any]:
     """
     from ..parallel.merge import RunRecord
 
-    target_name, campaign, max_steps = payload
+    target_name, campaign, max_steps, trace = payload
     target = sim_target(target_name)
     records: List[Any] = []
     for index in range(shard.start, shard.stop):
-        outcome = run_sim(
-            target, campaign, run_seed=str(index), max_steps=max_steps
+        outcome, chunk = _traced_sim_run(
+            target, campaign, str(index), max_steps, trace
         )
         records.append(
             RunRecord(
                 index=index,
                 steps=outcome.steps,
                 outcome=None if outcome.ok else outcome,
+                verdict=outcome.verdicts[0] if outcome.verdicts else None,
+                trace=chunk,
             )
         )
         if not outcome.ok:
@@ -473,28 +639,37 @@ def run_sim_campaign(
     max_steps: int = DEFAULT_MAX_STEPS,
     workers: int = 1,
     pool=None,
+    trace: bool = False,
 ) -> CampaignReport:
     """Run ``schedules`` generated executions; stop at the first failure.
 
     ``workers > 1`` shards the run-index range over processes (reusing
     ``pool``, a :class:`repro.parallel.WorkerPool`, when given).  Runs
     are seeded by global index, so the report — failing outcome,
-    ``schedules_run``, ``total_steps`` — is identical to the sequential
-    path; only ``shard_timing`` differs.
+    ``schedules_run``, ``total_steps``, verdict counts, trace chunks —
+    is identical to the sequential path; only ``shard_timing`` differs.
+    ``trace=True`` records each run under a private ``repro.obs`` tracer
+    and collects the chunks on the report in run-index order.
     """
     if workers != 1 or pool is not None:
         return _run_campaign_sharded(
             campaign, schedules, _sim_shard,
-            (target.name, campaign, max_steps),
+            (target.name, campaign, max_steps, trace),
             workers=workers if pool is None else pool.workers, pool=pool,
         )
     report = CampaignReport(campaign=campaign)
     for index in range(schedules):
-        outcome = run_sim(
-            target, campaign, run_seed=str(index), max_steps=max_steps
+        outcome, chunk = _traced_sim_run(
+            target, campaign, str(index), max_steps, trace
         )
         report.schedules_run += 1
         report.total_steps += outcome.steps
+        if chunk is not None:
+            report.trace_chunks.append((index, chunk))
+        if outcome.verdicts:
+            report.verdicts += 1
+            if report.first_verdict is None:
+                report.first_verdict = outcome.verdicts[0]
         if not outcome.ok:
             report.failing = outcome
             break

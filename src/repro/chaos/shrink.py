@@ -216,7 +216,12 @@ def _narrow_windows(
     return campaign
 
 
-_SIM_FAULT_FIELDS = ("windows", "crash_at", "crash_after", "corruptions")
+# recover_at shrinks independently of crash_at: an orphaned restart (its
+# crash deleted, or vice versa) is a defined no-op, so ddmin may drop
+# entries from either side freely.
+_SIM_FAULT_FIELDS = (
+    "windows", "crash_at", "crash_after", "corruptions", "recover_at"
+)
 _NET_FAULT_FIELDS = ("losses", "spikes", "partitions", "crash_at", "crash_after")
 
 

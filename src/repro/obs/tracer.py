@@ -43,6 +43,8 @@ Record vocabulary (``kind`` field; every record is a plain dict):
 ``label``  program label (CS_ENTER, DECIDED, ...): ``pid``, ``label``,
            ``t``
 ``crash``  process crash: ``pid``, ``t``
+``restart``  crash-recovery restart (fresh program, persistent
+           registers): ``pid``, ``t``
 ``done``   process completion: ``pid``, ``t``
 ``fault``  injected memory corruption: ``reg``, ``t``
 ``send``   message accepted by the transport: ``id``, ``src``, ``dst``,
@@ -187,6 +189,9 @@ class Tracer:
 
     def crash(self, pid: int, t: float) -> None:
         self.records.append({"kind": "crash", "pid": pid, "t": t})
+
+    def restart(self, pid: int, t: float) -> None:
+        self.records.append({"kind": "restart", "pid": pid, "t": t})
 
     def done(self, pid: int, t: float) -> None:
         self.records.append({"kind": "done", "pid": pid, "t": t})

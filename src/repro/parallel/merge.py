@@ -46,11 +46,16 @@ class RunRecord:
     ``outcome`` carries the full failing outcome (``SimOutcome`` /
     ``NetOutcome``) only when the run failed — passing runs ship just
     their index and step count, keeping worker results small.
+    ``verdict`` is a passing run's positive evidence (a stabilization
+    verdict from a recover target), and ``trace`` the run's repro.obs
+    records when the campaign ran with tracing on.
     """
 
     index: int
     steps: int
     outcome: Optional[Any] = None
+    verdict: Optional[Any] = None
+    trace: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -127,6 +132,12 @@ def merge_campaign_runs(campaign: Any, parts: Sequence[Sequence[RunRecord]]) -> 
     for record in records:
         report.schedules_run += 1
         report.total_steps += record.steps
+        if record.trace is not None:
+            report.trace_chunks.append((record.index, record.trace))
+        if record.verdict is not None:
+            report.verdicts += 1
+            if report.first_verdict is None:
+                report.first_verdict = record.verdict
         if not record.ok:
             report.failing = record.outcome
             break

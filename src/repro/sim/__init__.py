@@ -8,7 +8,8 @@ The public surface most users need:
 * the :mod:`~repro.sim.ops` vocabulary (``read``/``write``/``delay``/...);
 * timing models (:class:`ConstantTiming`, :class:`FailureWindowTiming`,
   :class:`AsynchronousTiming`, ...), failure descriptions
-  (:class:`TimingFailureWindow`, :class:`CrashSchedule`) and targeted
+  (:class:`TimingFailureWindow`, :class:`CrashSchedule`,
+  :class:`RecoverSchedule`) and targeted
   adversaries (:mod:`~repro.sim.adversary`);
 * :class:`Trace` — what happened, queryable by the spec checkers.
 """
@@ -23,8 +24,8 @@ from .adversary import (
 from .clock import VirtualClock
 from .engine import Engine, RunResult, RunStatus, SimulationError
 from .instrument import EngineProbe, active_probe, probe_scope
-from .failures import (CrashSchedule, MemoryFault, TimingFailureWindow,
-                       failure_window, merge_windows)
+from .failures import (CrashSchedule, MemoryFault, RecoverSchedule,
+                       TimingFailureWindow, failure_window, merge_windows)
 from .ops import (
     CS_ENTER,
     CS_EXIT,
@@ -53,7 +54,7 @@ from .ops import (
     send,
     write,
 )
-from .process import Process, ProcessState, Program
+from .process import Process, ProcessState, Program, ProgramFactory
 from .registers import Array, Memory, Register, RegisterNamespace
 from .scheduler import FifoTieBreak, PidOrderTieBreak, RandomTieBreak, TieBreak
 from .timing import (
@@ -84,6 +85,7 @@ __all__ = [
     "Process",
     "ProcessState",
     "Program",
+    "ProgramFactory",
     # memory
     "Array",
     "Memory",
@@ -129,6 +131,7 @@ __all__ = [
     # failures
     "TimingFailureWindow",
     "CrashSchedule",
+    "RecoverSchedule",
     "MemoryFault",
     "failure_window",
     "merge_windows",

@@ -34,10 +34,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs.tracer import Tracer, active_tracer
 
 from .clock import VirtualClock
-from .failures import CrashSchedule, MemoryFault
+from .failures import CrashSchedule, MemoryFault, RecoverSchedule
 from .instrument import EngineProbe, active_probe
 from .ops import Delay, Label, LocalWork, Op, Read, ReadModifyWrite, Write
-from .process import Process, ProcessState, Program
+from .process import Process, ProcessState, Program, ProgramFactory
 from .registers import Memory
 from .scheduler import FifoTieBreak, TieBreak
 from .timing import StepContext, TimingModel
@@ -114,6 +114,7 @@ class RunResult:
 _START = "start"
 _COMPLETE = "complete"
 _CRASH = "crash"
+_RESTART = "restart"
 _FAULT = "fault"
 
 #: Pseudo-pid used for scheduler bookkeeping of injected memory faults.
@@ -148,6 +149,10 @@ class Engine:
         Linearization order for same-instant completions.
     crashes:
         Optional :class:`CrashSchedule`.
+    recoveries:
+        Optional :class:`RecoverSchedule` — crash-recovery restarts.  A
+        restarting process gets a fresh program instance built by the
+        factory passed to :meth:`spawn` while shared registers persist.
     max_time / max_total_steps:
         Run limits; exceeding one stops the run with the corresponding
         :class:`RunStatus` (needed because asynchronous adversaries can
@@ -174,6 +179,7 @@ class Engine:
         timing: TimingModel,
         tie_break: Optional[TieBreak] = None,
         crashes: Optional[CrashSchedule] = None,
+        recoveries: Optional[RecoverSchedule] = None,
         max_time: float = math.inf,
         max_total_steps: float = math.inf,
         memory: Optional[Memory] = None,
@@ -187,6 +193,9 @@ class Engine:
         self.timing = timing
         self.tie_break = tie_break if tie_break is not None else FifoTieBreak()
         self.crashes = crashes if crashes is not None else CrashSchedule.none()
+        self.recoveries = (
+            recoveries if recoveries is not None else RecoverSchedule.none()
+        )
         self.max_time = max_time
         self.max_total_steps = max_total_steps
         self.memory = memory if memory is not None else Memory()
@@ -217,8 +226,14 @@ class Engine:
         pid: Optional[int] = None,
         name: Optional[str] = None,
         start_time: float = 0.0,
+        factory: Optional[ProgramFactory] = None,
     ) -> Process:
-        """Register a program as a process starting at ``start_time``."""
+        """Register a program as a process starting at ``start_time``.
+
+        ``factory`` rebuilds the program for a crash-recovery restart; it
+        is required for any pid the :class:`RecoverSchedule` restarts
+        (local state is volatile — only registers survive the crash).
+        """
         if self._ran:
             raise RuntimeError("cannot spawn after run() — build a new Engine")
         if start_time < 0:
@@ -227,14 +242,24 @@ class Engine:
             pid = len(self.processes)
         if pid in self.processes:
             raise ValueError(f"pid {pid} already spawned")
-        proc = Process(pid, program, name)
+        proc = Process(pid, program, name, factory=factory)
         proc.started_at = start_time
         proc.crash_time = self.crashes.crash_time(pid)
         proc.crash_step = self.crashes.crash_step(pid)
         self.processes[pid] = proc
         self._push(start_time, pid, _START)
         if math.isfinite(proc.crash_time):
-            self._push(proc.crash_time, pid, _CRASH)
+            # Stamp the crash with the incarnation it belongs to so a
+            # restarted process is not killed by its predecessor's event.
+            self._push(proc.crash_time, pid, _CRASH, payload=0)
+        recover_time = self.recoveries.recover_time(pid)
+        if math.isfinite(recover_time):
+            if factory is None:
+                raise ValueError(
+                    f"pid {pid} has a scheduled recovery but no program "
+                    f"factory: restarts need a fresh program instance"
+                )
+            self._push(recover_time, pid, _RESTART)
         return proc
 
     # -- event plumbing --------------------------------------------------------
@@ -293,8 +318,10 @@ class Engine:
                 probe.events += 1
             if action == _COMPLETE:
                 proc = processes[pid]
-                if not proc.alive:
-                    continue  # stale event for a crashed process
+                if not proc.alive or payload != proc.incarnation:
+                    # Stale event: the process crashed, or this completion
+                    # belongs to an incarnation that died before a restart.
+                    continue
                 advance_to(time)
                 complete(proc, op, issued, time)
                 continue
@@ -318,7 +345,12 @@ class Engine:
                 continue
             proc = processes[pid]
             if action == _CRASH:
-                self._crash(proc, time)
+                if payload == proc.incarnation:
+                    self._crash(proc, time)
+                continue
+            if action == _RESTART:
+                advance_to(time)
+                self._restart(proc, time)
                 continue
             if not proc.alive:
                 continue  # stale event for a crashed process
@@ -373,6 +405,36 @@ class Engine:
         if self._tracer is not None:
             self._tracer.crash(proc.pid, now)
         proc.program.close()
+
+    def _restart(self, proc: Process, now: float) -> None:
+        """Crash-recovery: fresh program instance, persistent registers.
+
+        Only a CRASHED process restarts — a process that finished (or was
+        never crashed because its crash time never fired) ignores the
+        event.  One restart per pid: the recovered incarnation has no
+        further crash scheduled.
+        """
+        if proc.state is not ProcessState.CRASHED or proc.factory is None:
+            return
+        proc.incarnation += 1
+        proc.program = proc.factory(proc.pid)
+        proc.state = ProcessState.RUNNING
+        proc.finished_at = None
+        proc.crash_time = math.inf
+        proc.crash_step = math.inf
+        self.trace.append(
+            TraceEvent(
+                seq=next(self._event_seq),
+                pid=proc.pid,
+                kind=EventKind.RESTART,
+                issued=now,
+                completed=now,
+                value=proc.incarnation,
+            )
+        )
+        if self._tracer is not None:
+            self._tracer.restart(proc.pid, now)
+        self._resume(proc, None, now)
 
     def _complete(self, proc: Process, op: Optional[Op], issued: float, now: float) -> None:
         """Apply an in-flight operation's effect at its completion instant."""
@@ -451,7 +513,14 @@ class Engine:
                 continue
 
             duration = self._duration_of(proc, op, now)
-            self._push(now + duration, proc.pid, _COMPLETE, op=op, issued=now)
+            self._push(
+                now + duration,
+                proc.pid,
+                _COMPLETE,
+                op=op,
+                issued=now,
+                payload=proc.incarnation,
+            )
             return
         raise SimulationError(
             f"process {proc.pid} ({proc.name}) executed {_MAX_ZERO_DURATION_RUN} "

@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "TimingFailureWindow",
     "CrashSchedule",
+    "RecoverSchedule",
     "MemoryFault",
     "failure_window",
     "merge_windows",
@@ -186,3 +187,42 @@ class CrashSchedule:
     ) -> "CrashSchedule":
         """Crash everyone except ``survivor`` after ``after_steps`` steps."""
         return cls(after_steps={p: after_steps for p in pids if p != survivor})
+
+
+@dataclass
+class RecoverSchedule:
+    """When (if ever) each crashed process restarts.
+
+    The crash-recovery model: a restarting process gets a **fresh program
+    instance** (all local/volatile state lost — the generator is rebuilt
+    from its factory) while **shared registers persist** across the crash.
+    This is the model of recoverable-object work (Golab's recoverable
+    consensus) layered on the paper's crash model.
+
+    ``at_time[pid]`` — the process restarts at that virtual time.  A
+    restart scheduled for a process that never crashed, or that finished
+    before its crash fired, is a no-op; a restart scheduled *before* the
+    crash time is also a no-op (the engine only restarts CRASHED
+    processes).  One restart per pid: a recovered process that crashes
+    again stays down.
+    """
+
+    at_time: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pid, t in self.at_time.items():
+            # `not (t >= 0)` also rejects NaN, which `t < 0` lets through.
+            if not (t >= 0):
+                raise ValueError(f"recover time for pid {pid} must be >= 0, got {t}")
+
+    def recover_time(self, pid: int) -> float:
+        """The scheduled restart time of ``pid`` (``inf`` when none)."""
+        return self.at_time.get(pid, math.inf)
+
+    def recovers(self, pid: int) -> bool:
+        return pid in self.at_time
+
+    @classmethod
+    def none(cls) -> "RecoverSchedule":
+        """A schedule with no restarts."""
+        return cls()

@@ -15,14 +15,18 @@ algorithms never need to know ``n`` unless their specification requires it
 from __future__ import annotations
 
 import enum
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from .ops import Op
 
-__all__ = ["Program", "ProcessState", "Process"]
+__all__ = ["Program", "ProgramFactory", "ProcessState", "Process"]
 
 # The generator protocol every algorithm follows.
 Program = Generator[Op, Any, Any]
+
+# Builds a fresh program instance for a pid — required for crash-recovery
+# restarts (a generator cannot be rewound, only rebuilt).
+ProgramFactory = Callable[[int], Program]
 
 
 class ProcessState(enum.Enum):
@@ -42,6 +46,8 @@ class Process:
         "pid",
         "name",
         "program",
+        "factory",
+        "incarnation",
         "state",
         "result",
         "error",
@@ -53,10 +59,18 @@ class Process:
         "finished_at",
     )
 
-    def __init__(self, pid: int, program: Program, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        pid: int,
+        program: Program,
+        name: Optional[str] = None,
+        factory: Optional[ProgramFactory] = None,
+    ) -> None:
         self.pid = pid
         self.name = name if name is not None else f"p{pid}"
         self.program = program
+        self.factory = factory  # rebuilds the program on a restart
+        self.incarnation = 0  # bumped by each crash-recovery restart
         self.state = ProcessState.READY
         self.result: Any = None
         self.error: Optional[BaseException] = None

@@ -41,6 +41,7 @@ class EventKind:
     LOCAL = "local"
     LABEL = "label"
     CRASH = "crash"
+    RESTART = "restart"  # crash-recovery: fresh program, persistent registers
     DONE = "done"
     FAULT = "fault"  # injected memory corruption (MemoryFault)
     SEND = "send"  # message handed to the network (repro.net)
@@ -195,6 +196,25 @@ class Trace:
         failures = self.timing_failures()
         return failures[-1].completed if failures else 0.0
 
+    def restarts(self, pid: Optional[int] = None) -> List[TraceEvent]:
+        """Every crash-recovery restart event (see :class:`RecoverSchedule`)."""
+        return [
+            e
+            for e in self._events
+            if e.kind == EventKind.RESTART and (pid is None or e.pid == pid)
+        ]
+
+    @property
+    def last_restart_time(self) -> float:
+        """Completion time of the last restart (0 when none).
+
+        Under crash-recovery a crash+restart pair is a transient fault; the
+        convergence clock of the resilience definition must not start before
+        the last restart.
+        """
+        restarts = self.restarts()
+        return restarts[-1].completed if restarts else 0.0
+
     # -- consensus-oriented queries ------------------------------------------
 
     def decisions(self) -> Dict[int, Tuple[float, Any]]:
@@ -214,12 +234,30 @@ class Trace:
         """Critical-section occupancies, from CS_ENTER/CS_EXIT label pairs.
 
         An unmatched ``CS_ENTER`` (process crashed or run truncated inside
-        its critical section) closes at the end of the trace.
+        its critical section) closes at the end of the trace — unless the
+        process later *restarts* (crash-recovery), in which case the
+        occupancy ends at the crash: the dead incarnation stopped executing
+        its critical section there, and the fresh incarnation may enter CS
+        again without this counting as "entered twice".
         """
         open_by_pid: Dict[int, float] = {}
+        crashed_open: Dict[int, Tuple[float, float]] = {}  # pid -> (enter, crash)
         sessions: Dict[int, int] = {}
         intervals: List[CsInterval] = []
+
+        def close(close_pid: int, enter: float, exit_time: float) -> None:
+            session = sessions.get(close_pid, 0)
+            sessions[close_pid] = session + 1
+            intervals.append(CsInterval(close_pid, enter, exit_time, session))
+
         for e in self._events:
+            if e.kind == EventKind.CRASH and e.pid in open_by_pid:
+                crashed_open[e.pid] = (open_by_pid.pop(e.pid), e.completed)
+                continue
+            if e.kind == EventKind.RESTART and e.pid in crashed_open:
+                enter, crash = crashed_open.pop(e.pid)
+                close(e.pid, enter, crash)
+                continue
             if e.kind != EventKind.LABEL:
                 continue
             if pid is not None and e.pid != pid:
@@ -232,10 +270,12 @@ class Trace:
                 enter = open_by_pid.pop(e.pid, None)
                 if enter is None:
                     raise ValueError(f"pid {e.pid} exited CS without entering")
-                session = sessions.get(e.pid, 0)
-                sessions[e.pid] = session + 1
-                intervals.append(CsInterval(e.pid, enter, e.completed, session))
+                close(e.pid, enter, e.completed)
         end = self.end_time
+        # A crash with no subsequent restart keeps the pre-recovery
+        # semantics: the occupancy persists to the end of the trace.
+        for open_pid, (enter, _crash) in crashed_open.items():
+            open_by_pid.setdefault(open_pid, enter)
         for open_pid, enter in open_by_pid.items():
             session = sessions.get(open_pid, 0)
             intervals.append(CsInterval(open_pid, enter, end, session))
@@ -247,11 +287,21 @@ class Trace:
 
         An ``ENTRY_START`` with no subsequent ``CS_ENTER`` (still waiting
         when the run ended, or crashed in the entry code) spans to the end
-        of the trace.
+        of the trace — unless the process later restarts (crash-recovery),
+        in which case the attempt ends at the crash and the fresh
+        incarnation may start a new entry.
         """
         open_by_pid: Dict[int, float] = {}
+        crashed_open: Dict[int, Tuple[float, float]] = {}  # pid -> (start, crash)
         spans: List[Tuple[int, float, float]] = []
         for e in self._events:
+            if e.kind == EventKind.CRASH and e.pid in open_by_pid:
+                crashed_open[e.pid] = (open_by_pid.pop(e.pid), e.completed)
+                continue
+            if e.kind == EventKind.RESTART and e.pid in crashed_open:
+                start, crash = crashed_open.pop(e.pid)
+                spans.append((e.pid, start, crash))
+                continue
             if e.kind != EventKind.LABEL:
                 continue
             if pid is not None and e.pid != pid:
@@ -267,6 +317,10 @@ class Trace:
                 if start is not None:
                     spans.append((e.pid, start, e.completed))
         end = self.end_time
+        # A crash with no subsequent restart: the attempt spans to the end
+        # of the trace, exactly as before crash-recovery existed.
+        for open_pid, (start, _crash) in crashed_open.items():
+            open_by_pid.setdefault(open_pid, start)
         for open_pid, start in open_by_pid.items():
             spans.append((open_pid, start, end))
         spans.sort(key=lambda s: (s[1], s[0]))

@@ -16,6 +16,11 @@ from .properties import (
     ValidityProperty,
 )
 from .sandbox import ProgramFactory, Sandbox
+from .stabilization import (
+    SelfStabilizationProperty,
+    StabilizationReport,
+    dg_ring_property,
+)
 
 __all__ = [
     "Sandbox",
@@ -32,4 +37,7 @@ __all__ = [
     "AgreementProperty",
     "ValidityProperty",
     "InvariantProperty",
+    "SelfStabilizationProperty",
+    "StabilizationReport",
+    "dg_ring_property",
 ]

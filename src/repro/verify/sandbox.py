@@ -48,6 +48,11 @@ ProgramFactory = Callable[[int], Any]
 # the sandbox declares it livelocked (labels/delays in a tight loop).
 _MAX_NONSHARED_RUN = 10_000
 
+# Read-history marker recording a crash-recovery restart.  No real read
+# value can equal it (``_freeze`` never produces this tuple), so restarted
+# histories stay distinct from unrestarted ones — fingerprint soundness.
+_RESTART_MARK = ("__restart__",)
+
 
 def op_kind(op: Optional[Op]) -> str:
     """Trace-op name for a pending op (see :meth:`Sandbox.pending_op`).
@@ -181,6 +186,30 @@ class Sandbox:
             self.in_cs.discard(pid)
         elif label.kind == op_defs.DECIDED:
             self.decisions.setdefault(pid, label.payload)
+
+    def restart(self, pid: int, factory: ProgramFactory) -> None:
+        """Crash-recovery restart: fresh program instance, persistent memory.
+
+        Volatile state vanishes — the generator is rebuilt from scratch and
+        the per-incarnation op budget resets.  Observer state follows crash
+        semantics: the dead incarnation's critical-section occupancy ended
+        with it (the *registers* may still claim the lock; whether the
+        algorithm copes is exactly what a recover campaign measures), while
+        decisions persist — a decision, once announced, stays announced.
+        """
+        if pid not in self._programs:
+            raise ValueError(f"unknown pid {pid}")
+        self._programs[pid].close()
+        self._programs[pid] = factory(pid)
+        self._pending[pid] = None
+        self._done[pid] = False
+        self._results.pop(pid, None)
+        self._op_count[pid] = 0
+        self.in_cs.discard(pid)
+        # The restart must stay visible to the fingerprint: two states that
+        # differ only in "pid was restarted" have different futures.
+        self._read_history[pid].append(_RESTART_MARK)
+        self._advance(pid, None)
 
     # -- inspection ----------------------------------------------------------
 

@@ -1,0 +1,275 @@
+"""Machine-checking self-stabilization: transient faults, finite recovery.
+
+Dijkstra's definition, as revisited by Dubois–Guerraoui (arXiv:1302.2217):
+an algorithm self-stabilizes when, started from an **arbitrary**
+configuration of its shared state, every execution reaches a *legal*
+configuration in finitely many steps (**convergence**) and legal
+configurations only lead to legal configurations (**closure**).  Their
+*speculative* refinement adds a fast path: under the common synchronous
+schedule, convergence happens within a declared step bound.
+
+:class:`SelfStabilizationProperty` checks all three claims on the
+asynchronous sandbox semantics:
+
+* **convergence** — seeded random corruptions of the shared state,
+  driven by seeded random schedules, must each reach legality within a
+  step budget;
+* **closure** — after the budget the run must stay legal for a clean
+  observation tail.  Strict per-*state* closure is deliberately not
+  asserted: under read/write atomicity a process may complete a move
+  from a privilege observation taken before convergence, transiently
+  re-creating a second privilege — a configuration in this model
+  includes in-flight reads, which memory-only legality cannot see.
+  What stabilization guarantees (and what is checked) is that such
+  residue drains: every illegal state precedes the budget;
+* **speculation** — under the synchronous round-robin schedule the same
+  corrupted starts must settle within the algorithm's declared bound.
+
+Unlike the per-state :class:`~repro.verify.properties.SafetyProperty`
+classes this is a property of the *algorithm*, so it is checked by
+running executions, not by inspecting one state.  The companion
+crash-recovery clause of this PR lives in the timed world:
+:func:`repro.core.resilience.check_resilience` starts its convergence
+clock at ``trace.last_restart_time`` when crashes recover.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .sandbox import ProgramFactory, Sandbox
+
+__all__ = [
+    "StabilizationReport",
+    "SelfStabilizationProperty",
+    "dg_ring_property",
+]
+
+# A corruptor scrambles the transient shared state in place.
+Corruptor = Callable[[Sandbox, random.Random], None]
+Legality = Callable[[Sandbox], bool]
+Build = Callable[[], Dict[int, ProgramFactory]]
+
+
+@dataclass
+class StabilizationReport:
+    """What the trials established (and any counterexample found)."""
+
+    trials: int = 0
+    converged: int = 0
+    max_steps_to_legal: int = 0  # worst convergence time observed
+    speculative_trials: int = 0
+    speculative_ok: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"StabilizationReport({status}, converged "
+            f"{self.converged}/{self.trials}, worst {self.max_steps_to_legal} "
+            f"step(s), speculative {self.speculative_ok}/"
+            f"{self.speculative_trials})"
+        )
+
+
+class SelfStabilizationProperty:
+    """Convergence + closure + speculation, checked by seeded execution.
+
+    Parameters
+    ----------
+    build:
+        Returns fresh per-pid program factories (generators cannot be
+        rewound).  Programs should run indefinitely — the sandbox's op
+        bound is the horizon — so convergence is observed *during* the
+        run, not inferred from termination.
+    corrupt:
+        Scrambles the shared state in place from an RNG: the "arbitrary
+        configuration" sampler.
+    legal:
+        The legality predicate over sandbox state.
+    speculative_bound:
+        Declared convergence bound (in shared steps) under the
+        synchronous round-robin schedule.
+    max_ops:
+        Per-process op budget per trial; the asynchronous convergence
+        budget is the total step count this allows.
+    tail:
+        Observation window run *past* each budget: every state inside it
+        must be legal, or the trial records a violation.  Without a tail
+        "converged at the last step" would be vacuous.
+    """
+
+    name = "self_stabilization"
+
+    def __init__(
+        self,
+        build: Build,
+        corrupt: Corruptor,
+        legal: Legality,
+        speculative_bound: int,
+        max_ops: int = 400,
+        tail: int = 100,
+    ) -> None:
+        if speculative_bound < 1:
+            raise ValueError(
+                f"speculative_bound must be >= 1, got {speculative_bound}"
+            )
+        if tail < 1:
+            raise ValueError(f"tail must be >= 1, got {tail}")
+        self.build = build
+        self.corrupt = corrupt
+        self.legal = legal
+        self.speculative_bound = speculative_bound
+        self.max_ops = max_ops
+        self.tail = tail
+
+    # -- one trial -----------------------------------------------------------
+
+    def _run_trial(
+        self,
+        rng: random.Random,
+        schedule_rng: Optional[random.Random],
+        budget: int,
+        report: StabilizationReport,
+        label: str,
+    ) -> Optional[int]:
+        """One corrupted start driven ``budget`` steps plus the tail.
+
+        Returns the settle time — one past the last illegal state seen —
+        or ``None`` with a violation recorded.  Settle time, not
+        first-legality, is the honest measure here: stale in-flight
+        privilege observations from the corrupted prefix can briefly
+        re-create an illegal state after the first legal one (see the
+        module docstring), and all of that residue must land before the
+        budget.  ``schedule_rng=None`` selects the synchronous
+        round-robin schedule (the speculation contract's schedule).
+        """
+        factories = self.build()
+        sandbox = Sandbox(factories, max_ops=self.max_ops)
+        self.corrupt(sandbox, rng)
+        pids = sorted(factories)
+        last_illegal = 0 if not self.legal(sandbox) else -1
+        rr_index = 0
+        for step in range(budget + self.tail):
+            enabled = sandbox.enabled()
+            if not enabled:
+                break
+            if schedule_rng is None:
+                while pids[rr_index % len(pids)] not in enabled:
+                    rr_index += 1
+                pid = pids[rr_index % len(pids)]
+                rr_index += 1
+            else:
+                pid = schedule_rng.choice(enabled)
+            sandbox.step(pid)
+            if not self.legal(sandbox):
+                last_illegal = step + 1
+        if last_illegal >= budget:
+            report.violations.append(
+                f"{label}: illegal state at step {last_illegal}, past the "
+                f"{budget}-step budget"
+            )
+            return None
+        return last_illegal + 1
+
+    # -- the three clauses ---------------------------------------------------
+
+    def check_convergence(
+        self, seed: str = "stabilize", trials: int = 20
+    ) -> StabilizationReport:
+        """Random corrupted starts under random schedules must converge."""
+        report = StabilizationReport()
+        budget = self.max_ops  # generous asynchronous horizon
+        for trial in range(trials):
+            rng = random.Random(f"{seed}:corrupt:{trial}")
+            schedule_rng = random.Random(f"{seed}:schedule:{trial}")
+            report.trials += 1
+            settled = self._run_trial(
+                rng, schedule_rng, budget, report, f"trial {trial}"
+            )
+            if settled is not None:
+                report.converged += 1
+                report.max_steps_to_legal = max(
+                    report.max_steps_to_legal, settled
+                )
+        return report
+
+    def check_speculation(
+        self, seed: str = "stabilize", trials: int = 20
+    ) -> StabilizationReport:
+        """Round-robin runs must converge within the declared bound."""
+        report = StabilizationReport()
+        for trial in range(trials):
+            rng = random.Random(f"{seed}:corrupt:{trial}")
+            report.speculative_trials += 1
+            settled = self._run_trial(
+                rng, None, self.speculative_bound, report,
+                f"speculative trial {trial}",
+            )
+            if settled is not None:
+                report.speculative_ok += 1
+        return report
+
+    def check(
+        self, seed: str = "stabilize", trials: int = 20
+    ) -> StabilizationReport:
+        """Both clauses on the same corrupted starts; one merged report."""
+        report = self.check_convergence(seed, trials)
+        speculative = self.check_speculation(seed, trials)
+        report.speculative_trials = speculative.speculative_trials
+        report.speculative_ok = speculative.speculative_ok
+        report.violations.extend(speculative.violations)
+        return report
+
+
+def dg_ring_property(
+    n: int, k: Optional[int] = None, max_ops: int = 400
+) -> SelfStabilizationProperty:
+    """The property instance for Dijkstra's K-state ring (DG's exemplar).
+
+    Programs circulate the privilege forever (privilege test + move, no
+    critical section), corruption pokes every token cell with an
+    arbitrary value — including junk outside ``[0, K)``, which the
+    equality-only protocol must drain — and legality is the single-
+    privilege predicate computed directly from memory.
+    """
+    from ..algorithms.dg_mutex import DGTokenMutex, speculative_bound
+
+    lock = DGTokenMutex(n, k=k)
+
+    def circulate(pid: int):
+        while True:
+            if (yield from lock.privileged(pid)):
+                yield from lock.exit(pid)
+
+    def build() -> Dict[int, ProgramFactory]:
+        # Same persistent lock across trials: the corruptor overwrites
+        # every cell anyway, so each trial's start is fully determined
+        # by its own corruption draw.
+        return {pid: (lambda p: circulate(p)) for pid in range(n)}
+
+    def corrupt(sandbox: Sandbox, rng: random.Random) -> None:
+        for cell in lock.cells:
+            sandbox.memory.poke(cell, rng.randrange(0, 2 * lock.k))
+
+    def privileges(sandbox: Sandbox) -> int:
+        values = [sandbox.memory.peek(cell) for cell in lock.cells]
+        count = 1 if values[0] == values[-1] else 0
+        count += sum(
+            1 for i in range(1, n) if values[i] != values[i - 1]
+        )
+        return count
+
+    return SelfStabilizationProperty(
+        build=build,
+        corrupt=corrupt,
+        legal=lambda sandbox: privileges(sandbox) == 1,
+        speculative_bound=speculative_bound(n, k),
+        max_ops=max_ops,
+    )

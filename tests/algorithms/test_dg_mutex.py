@@ -1,0 +1,126 @@
+"""Dubois–Guerraoui speculative self-stabilizing token mutex."""
+
+import random
+
+import pytest
+
+from repro.algorithms.dg_mutex import (
+    DGTokenMutex,
+    speculative_bound,
+    stabilizing_ring,
+    stabilizing_session,
+)
+from repro.verify.sandbox import Sandbox
+
+
+class TestConstruction:
+    def test_k_defaults_to_n_plus_one(self):
+        assert DGTokenMutex(3).k == 4
+
+    def test_rejects_k_not_exceeding_n(self):
+        with pytest.raises(ValueError, match="K > n"):
+            DGTokenMutex(3, k=3)
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError):
+            DGTokenMutex(1)
+
+    def test_register_count_is_one_per_process(self):
+        lock = DGTokenMutex(5)
+        assert lock.register_count(5) == 5
+        assert len(lock.cells) == 5
+
+    def test_properties(self):
+        props = DGTokenMutex(3).properties
+        assert props.starvation_free and not props.timing_based
+
+    def test_speculative_bound_grows_with_ring(self):
+        assert speculative_bound(3) == 8 * 3 * (3 + 4)
+        assert speculative_bound(3, k=10) > speculative_bound(3)
+
+
+def _privileges(sandbox, lock):
+    values = [sandbox.memory.peek(cell) for cell in lock.cells]
+    count = 1 if values[0] == values[-1] else 0
+    return count + sum(
+        1 for i in range(1, lock.n) if values[i] != values[i - 1]
+    )
+
+
+class TestLegalRuns:
+    def test_all_zero_start_has_single_privilege_at_root(self):
+        lock = DGTokenMutex(3)
+        sb = Sandbox({0: lambda p: lock.privileged(0)}, max_ops=10)
+        assert _privileges(sb, lock) == 1
+        sb.step(0)
+        sb.step(0)
+        assert sb.result(0) is True  # S[0] == S[n-1]: the root holds it
+
+    @pytest.mark.parametrize("seed", ["a", "b", "c"])
+    def test_mutual_exclusion_from_legal_start(self, seed):
+        # From the legal all-zero configuration the ring is an ordinary
+        # mutex: no interleaving may put two processes in the CS.
+        n = 3
+        lock, factory = stabilizing_ring(n, sessions=2, cs_duration=1.0)
+        sb = Sandbox({pid: factory for pid in range(n)}, max_ops=400)
+        rng = random.Random(seed)
+        while sb.enabled():
+            sb.step(rng.choice(sb.enabled()))
+            assert len(sb.in_cs) <= 1
+        assert all(sb.result(pid) == 2 for pid in range(n))
+
+    def test_helper_mode_does_not_wedge_the_ring(self):
+        # Round-robin: early finishers must keep forwarding the privilege
+        # until everyone is done, or the token freezes at a stopped pid.
+        n = 4
+        lock, factory = stabilizing_ring(n, sessions=1)
+        sb = Sandbox({pid: factory for pid in range(n)}, max_ops=600)
+        pids = list(range(n))
+        i = 0
+        while sb.enabled():
+            enabled = sb.enabled()
+            while pids[i % n] not in enabled:
+                i += 1
+            sb.step(pids[i % n])
+            i += 1
+        assert all(sb.done(pid) for pid in range(n))
+
+    def test_session_rejects_negative_sessions(self):
+        lock, _ = stabilizing_ring(2)
+        done = []
+        with pytest.raises(ValueError):
+            list(stabilizing_session(lock, done, 0, sessions=-1))
+
+
+class TestStabilization:
+    def test_corrupted_ring_drains_to_single_privilege(self):
+        # Poke junk (including values >= K) into every cell, run round-
+        # robin circulation, and require a legal suffix: self-
+        # stabilization at work without the verify-layer machinery.
+        n = 3
+        lock = DGTokenMutex(n)
+
+        def circulate(pid):
+            while True:
+                if (yield from lock.privileged(pid)):
+                    yield from lock.exit(pid)
+
+        sb = Sandbox({pid: circulate for pid in range(n)}, max_ops=200)
+        rng = random.Random("corrupt")
+        for cell in lock.cells:
+            sb.memory.poke(cell, rng.randrange(0, 2 * lock.k))
+        last_illegal = 0 if _privileges(sb, lock) != 1 else -1
+        step = 0
+        i = 0
+        while sb.enabled():
+            enabled = sb.enabled()
+            while i % n not in enabled:
+                i += 1
+            sb.step(i % n)
+            i += 1
+            step += 1
+            if _privileges(sb, lock) != 1:
+                last_illegal = step
+        assert step > 100  # the run was long enough to mean something
+        assert last_illegal < speculative_bound(n)
+        assert _privileges(sb, lock) == 1

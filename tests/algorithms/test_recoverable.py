@@ -1,0 +1,101 @@
+"""Golab-style recoverable consensus: agreement across crash-restart cycles."""
+
+import random
+
+import pytest
+
+from repro.algorithms.recoverable import RecoverableConsensus
+from repro.verify.sandbox import Sandbox
+
+
+def _proposer(consensus, inputs):
+    def factory(pid):
+        return consensus.propose(pid, inputs[pid])
+
+    return factory
+
+
+class TestBasicConsensus:
+    def test_rejects_none_proposal(self):
+        consensus = RecoverableConsensus()
+        with pytest.raises(ValueError, match="None"):
+            next(consensus.propose(0, None))
+
+    @pytest.mark.parametrize("seed", ["x", "y", "z"])
+    def test_agreement_and_validity_under_random_schedules(self, seed):
+        consensus = RecoverableConsensus()
+        inputs = {0: 10, 1: 20, 2: 30}
+        factory = _proposer(consensus, inputs)
+        sb = Sandbox({pid: factory for pid in inputs}, max_ops=30)
+        rng = random.Random(seed)
+        while sb.enabled():
+            sb.step(rng.choice(sb.enabled()))
+        decided = set(sb.results.values())
+        assert len(decided) == 1  # agreement
+        assert decided <= set(inputs.values())  # validity
+        assert sb.decisions == {pid: sb.result(pid) for pid in inputs}
+
+    def test_recovery_fast_path_adopts_recorded_decision(self):
+        consensus = RecoverableConsensus()
+        factory = _proposer(consensus, {0: 7})
+        sb = Sandbox({0: factory}, max_ops=30)
+        sb.memory.poke(consensus.decision, 99)  # D already written
+        while sb.enabled():
+            sb.step(0)
+        assert sb.result(0) == 99
+        assert sb.memory.peek(consensus.cell) is None  # C never touched
+
+
+class TestCrashRecovery:
+    def test_propose_is_idempotent_across_restart(self):
+        # pid 0 wins the CAS, then crashes before recording the decision;
+        # the fresh incarnation re-runs propose from the top and must
+        # re-derive the same winner, not CAS a second value in.
+        consensus = RecoverableConsensus()
+        inputs = {0: 1, 1: 2}
+        factory = _proposer(consensus, inputs)
+        sb = Sandbox({pid: factory for pid in inputs}, max_ops=30)
+        sb.step(0)  # read D (bottom)
+        sb.step(0)  # CAS(C, bottom, 1): pid 0 is the winner
+        assert sb.memory.peek(consensus.cell) == 1
+        sb.restart(0, factory)  # crash before D := w, restart fresh
+        while sb.enabled():
+            sb.step(1)
+            if sb.enabled() and 0 in sb.enabled():
+                sb.step(0)
+        assert sb.result(0) == 1 and sb.result(1) == 1
+        assert sb.memory.peek(consensus.decision) == 1
+
+    def test_restart_after_decision_readopts_it(self):
+        consensus = RecoverableConsensus()
+        inputs = {0: 5, 1: 6}
+        factory = _proposer(consensus, inputs)
+        sb = Sandbox({pid: factory for pid in inputs}, max_ops=30)
+        while not sb.done(0):
+            sb.step(0)  # pid 0 decides 5 solo
+        first = sb.result(0)
+        sb.restart(0, factory)
+        while not sb.done(0):
+            sb.step(0)  # fresh incarnation takes the D fast path
+        assert sb.result(0) == first == 5
+        while sb.enabled():
+            sb.step(1)
+        assert sb.result(1) == 5
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_survives_random_restarts(self, seed):
+        consensus = RecoverableConsensus()
+        inputs = {0: 10, 1: 20, 2: 30}
+        factory = _proposer(consensus, inputs)
+        sb = Sandbox({pid: factory for pid in inputs}, max_ops=60)
+        rng = random.Random(f"restart:{seed}")
+        restarts = 0
+        while sb.enabled():
+            pid = rng.choice(sb.enabled())
+            sb.step(pid)
+            if restarts < 3 and not sb.done(pid) and rng.random() < 0.2:
+                sb.restart(pid, factory)
+                restarts += 1
+        decided = set(sb.results.values())
+        assert len(decided) == 1
+        assert decided <= set(inputs.values())

@@ -90,3 +90,83 @@ class TestCommittedArtifact:
         # the committed artifact is the *shrunk* counterexample
         assert len(data["schedule"]) <= 10
         assert len(data["campaign"]["windows"]) <= 1
+
+
+class TestRecoverExpectation:
+    def test_expect_recover_converges(self, tmp_path):
+        summary = tmp_path / "summary.json"
+        code = main([
+            "run", "--substrate", "sim", "--target", "dg_mutex_n3",
+            "--seed", "recover-cli", "--campaigns", "1", "--schedules", "2",
+            "--expect", "recover", "--json", str(summary),
+        ])
+        assert code == 0
+        data = json.loads(summary.read_text())
+        (entry,) = data["campaigns"]
+        assert entry["converged"] and entry["verdicts"] == 2
+        assert entry["first_verdict"]["monitor"] == "stabilization"
+
+    def test_expect_recover_rejects_non_recover_target(self):
+        assert main([
+            "run", "--substrate", "sim", "--target", "fischer_n3",
+            "--seed", "s", "--expect", "recover",
+        ]) == 2
+
+    def test_trace_is_sim_only(self, tmp_path):
+        assert main([
+            "run", "--substrate", "net", "--seed", "s",
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 2
+
+    def test_trace_and_summary_identical_across_worker_counts(self, tmp_path):
+        # The restart-determinism gate: a sharded recover campaign must
+        # produce byte-identical evidence to the sequential run.
+        outs = {}
+        for workers in (1, 4):
+            trace = tmp_path / f"trace-w{workers}.jsonl"
+            summary = tmp_path / f"summary-w{workers}.json"
+            code = main([
+                "run", "--substrate", "sim", "--target", "dg_mutex_n3",
+                "--seed", "recover-det", "--campaigns", "1",
+                "--schedules", "4", "--expect", "recover",
+                "--workers", str(workers),
+                "--trace", str(trace), "--json", str(summary),
+            ])
+            assert code == 0
+            outs[workers] = (trace.read_bytes(), summary.read_bytes())
+        assert outs[1][0] == outs[4][0]
+        assert outs[1][1] == outs[4][1]
+
+
+class TestCommittedRecoverArtifacts:
+    """Tier-1 smoke: the archived convergence contrast replays exactly."""
+
+    STABILIZATION = ARTIFACTS / "dg_mutex_n3_stabilization.json"
+    NONCONVERGENCE = ARTIFACTS / "fischer_n3_nonconvergence.json"
+
+    def test_artifacts_are_committed(self):
+        assert self.STABILIZATION.is_file()
+        assert self.NONCONVERGENCE.is_file()
+
+    def test_stabilization_verdict_replays_identically(self):
+        assert main(["replay", str(self.STABILIZATION)]) == 0
+
+    def test_nonconvergence_replays_identically(self):
+        assert main(["replay", str(self.NONCONVERGENCE)]) == 0
+
+    def test_the_contrast(self):
+        # Same fault class, opposite fates: corruption against the
+        # stabilizing ring ends in a convergence verdict with zero
+        # standing violations; against Fischer it wedges the run and the
+        # convergence monitor files a violation.
+        stab = json.loads(self.STABILIZATION.read_text())
+        assert stab["kind"] == "stabilization"
+        assert stab["target"] == "dg_mutex_n3"
+        assert stab["violation"]["monitor"] == "stabilization"
+        assert "converged" in stab["violation"]["message"]
+        assert stab["campaign"]["corruptions"]
+        wedge = json.loads(self.NONCONVERGENCE.read_text())
+        assert wedge["kind"] == "violation"
+        assert wedge["target"] == "fischer_n3"
+        assert wedge["violation"]["monitor"] == "convergence"
+        assert wedge["campaign"]["corruptions"]

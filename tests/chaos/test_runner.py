@@ -22,8 +22,20 @@ from repro.verify.properties import InvariantProperty
 
 
 class TestTargets:
-    def test_registry_has_the_standard_three(self):
-        assert set(SIM_TARGETS) == {"fischer_n3", "alg3_n4", "consensus_n4"}
+    def test_registry_has_the_standard_targets(self):
+        assert set(SIM_TARGETS) == {
+            "fischer_n3",
+            "alg3_n4",
+            "consensus_n4",
+            "dg_mutex_n3",
+            "golab_consensus_n3",
+        }
+
+    def test_recover_flags(self):
+        assert sim_target("dg_mutex_n3").recover
+        assert sim_target("dg_mutex_n3").corruptible == ("S0", "S1", "S2")
+        assert sim_target("golab_consensus_n3").recover
+        assert not sim_target("fischer_n3").recover
 
     def test_unknown_target_rejected_with_suggestions(self):
         with pytest.raises(KeyError, match="fischer_n3"):

@@ -1,0 +1,149 @@
+"""Crash-recovery restarts: RecoverSchedule wiring through the engine."""
+
+import math
+
+import pytest
+
+from repro.obs.tracer import Tracer, trace_scope
+from repro.sim import (
+    ConstantTiming,
+    CrashSchedule,
+    Engine,
+    ProcessState,
+    RecoverSchedule,
+    Register,
+    RunStatus,
+    read,
+    write,
+)
+
+X = Register("x", 0)
+
+
+def bump(pid):
+    v = yield read(X)
+    yield write(X, v + 1)
+    return v
+
+
+class TestRecoverSchedule:
+    def test_validation_rejects_negative_and_nan(self):
+        with pytest.raises(ValueError):
+            RecoverSchedule(at_time={0: -1.0})
+        with pytest.raises(ValueError):
+            RecoverSchedule(at_time={0: float("nan")})
+
+    def test_recover_time_defaults_to_inf(self):
+        rs = RecoverSchedule(at_time={0: 5.0})
+        assert rs.recover_time(0) == 5.0
+        assert rs.recover_time(1) == math.inf
+        assert rs.recovers(0) and not rs.recovers(1)
+
+    def test_none_has_no_restarts(self):
+        assert not RecoverSchedule.none().recovers(0)
+
+
+class TestEngineRestart:
+    def _engine(self, crashes=None, recoveries=None):
+        return Engine(
+            delta=10.0,
+            timing=ConstantTiming(1.0),
+            crashes=crashes,
+            recoveries=recoveries,
+        )
+
+    def test_restart_rebuilds_program_over_persistent_registers(self):
+        # Crash at 1.5: the read (completes at 1.0) lands, the write
+        # (would complete at 2.0) dies with the incarnation.  The restart
+        # at 5.0 runs a *fresh* program — which sees x still 0 — and this
+        # time completes.
+        eng = self._engine(
+            crashes=CrashSchedule(at_time={0: 1.5}),
+            recoveries=RecoverSchedule(at_time={0: 5.0}),
+        )
+        eng.spawn(bump(0), pid=0, factory=bump)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        assert res.returns == {0: 0}
+        assert eng.memory.read(X) == 1
+        assert eng.processes[0].state is ProcessState.DONE
+        assert eng.processes[0].incarnation == 1
+
+    def test_registers_survive_the_crash(self):
+        # pid 1 writes before pid 0's restart; the fresh incarnation must
+        # observe that write — shared memory is persistent state.
+        eng = self._engine(
+            crashes=CrashSchedule(at_time={0: 0.5}),
+            recoveries=RecoverSchedule(at_time={0: 5.0}),
+        )
+        eng.spawn(bump(0), pid=0, factory=bump)
+        eng.spawn(bump(1), pid=1)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        # pid 1 ran alone (read 0, wrote 1); pid 0's second incarnation
+        # then read 1 and wrote 2.
+        assert res.returns == {0: 1, 1: 0}
+        assert eng.memory.read(X) == 2
+
+    def test_restart_events_appear_in_trace(self):
+        eng = self._engine(
+            crashes=CrashSchedule(at_time={0: 0.5}),
+            recoveries=RecoverSchedule(at_time={0: 4.0}),
+        )
+        eng.spawn(bump(0), pid=0, factory=bump)
+        eng.run()
+        (restart,) = eng.trace.restarts(0)
+        assert restart.completed == 4.0
+        assert eng.trace.last_restart_time == 4.0
+
+    def test_restart_of_uncrashed_process_is_noop(self):
+        # The program finishes at 2.0, before the 5.0 restart fires; only
+        # CRASHED processes restart.
+        eng = self._engine(recoveries=RecoverSchedule(at_time={0: 5.0}))
+        eng.spawn(bump(0), pid=0, factory=bump)
+        res = eng.run()
+        assert res.status is RunStatus.COMPLETED
+        assert eng.processes[0].incarnation == 0
+        assert eng.trace.restarts() == []
+
+    def test_restart_scheduled_before_crash_is_noop(self):
+        # Recover at 1.0, crash at 1.5: when the restart event fires the
+        # process is not CRASHED, so it stays down for good afterwards.
+        eng = self._engine(
+            crashes=CrashSchedule(at_time={0: 1.5}),
+            recoveries=RecoverSchedule(at_time={0: 1.0}),
+        )
+        eng.spawn(bump(0), pid=0, factory=bump)
+        res = eng.run()
+        assert eng.processes[0].state is ProcessState.CRASHED
+        assert 0 not in res.returns
+
+    def test_spawn_requires_factory_when_recovery_scheduled(self):
+        eng = self._engine(recoveries=RecoverSchedule(at_time={0: 5.0}))
+        with pytest.raises(ValueError, match="factory"):
+            eng.spawn(bump(0), pid=0)
+
+    def test_predecessor_crash_does_not_kill_new_incarnation(self):
+        # The crash event is stamped with incarnation 0.  Restarting at
+        # the same instant the crash fires must not let the stale event
+        # kill incarnation 1.
+        eng = self._engine(
+            crashes=CrashSchedule(at_time={0: 0.5}),
+            recoveries=RecoverSchedule(at_time={0: 0.5}),
+        )
+        eng.spawn(bump(0), pid=0, factory=bump)
+        res = eng.run()
+        assert eng.processes[0].state is ProcessState.DONE
+        assert res.returns[0] == 0
+
+    def test_obs_tracer_records_restart_marker(self):
+        tracer = Tracer()
+        with trace_scope(tracer):
+            eng = self._engine(
+                crashes=CrashSchedule(at_time={0: 0.5}),
+                recoveries=RecoverSchedule(at_time={0: 3.0}),
+            )
+            eng.spawn(bump(0), pid=0, factory=bump)
+            eng.run()
+        marks = [r for r in tracer.records if r["kind"] == "restart"]
+        assert marks == [{"kind": "restart", "pid": 0, "t": 3.0}]

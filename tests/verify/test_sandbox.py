@@ -160,3 +160,50 @@ def test_double_cs_enter_rejected():
 
     with pytest.raises(RuntimeError, match="twice"):
         Sandbox({0: bad}, max_ops=10)
+
+
+class TestRestart:
+    """Crash-recovery in the sandbox: fresh program, persistent memory."""
+
+    def test_restart_rebuilds_program_and_keeps_memory(self):
+        sb = Sandbox({0: incrementer}, max_ops=10)
+        sb.step(0)  # read 0
+        sb.step(0)  # write 1
+        assert sb.done(0)
+        sb.restart(0, incrementer)
+        assert not sb.done(0)
+        sb.step(0)  # fresh program reads the persistent 1
+        sb.step(0)
+        assert sb.result(0) == 1 and sb.memory.peek(X) == 2
+
+    def test_restart_resets_per_incarnation_op_budget(self):
+        sb = Sandbox({0: incrementer}, max_ops=10)
+        sb.step(0)
+        assert sb.op_count(0) == 1
+        sb.restart(0, incrementer)
+        assert sb.op_count(0) == 0
+
+    def test_restart_clears_cs_occupancy(self):
+        def looper(pid):
+            yield ops.label(ops.CS_ENTER)
+            yield ops.local_work(1.0)
+            yield ops.label(ops.CS_EXIT)
+            yield ops.write(X, 1)
+
+        sb = Sandbox({0: looper}, max_ops=10)
+        assert sb.in_cs == {0}
+        sb.restart(0, looper)
+        assert sb.in_cs == {0}  # the fresh incarnation re-entered
+        sb.step(0)
+        assert sb.in_cs == set()
+
+    def test_restart_is_visible_to_the_fingerprint(self):
+        sb1 = Sandbox({0: incrementer}, max_ops=10)
+        sb2 = Sandbox({0: incrementer}, max_ops=10)
+        sb2.restart(0, incrementer)
+        assert sb1.fingerprint() != sb2.fingerprint()
+
+    def test_restart_unknown_pid_rejected(self):
+        sb = Sandbox({0: incrementer}, max_ops=10)
+        with pytest.raises(ValueError, match="unknown pid"):
+            sb.restart(7, incrementer)

@@ -1,0 +1,107 @@
+"""Tests for the self-stabilization property checker."""
+
+import pytest
+
+from repro.sim import ops
+from repro.sim.registers import Register
+from repro.verify.stabilization import (
+    SelfStabilizationProperty,
+    StabilizationReport,
+    dg_ring_property,
+)
+
+
+class TestValidation:
+    def _noop_property(self, **kwargs):
+        X = Register("x", 1)
+
+        def build():
+            def prog(pid):
+                while True:
+                    yield ops.read(X)
+
+            return {0: prog}
+
+        return SelfStabilizationProperty(
+            build=build,
+            corrupt=lambda sb, rng: None,
+            legal=lambda sb: True,
+            **kwargs,
+        )
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="speculative_bound"):
+            self._noop_property(speculative_bound=0)
+
+    def test_rejects_nonpositive_tail(self):
+        with pytest.raises(ValueError, match="tail"):
+            self._noop_property(speculative_bound=10, tail=0)
+
+
+class TestReport:
+    def test_ok_iff_no_violations(self):
+        report = StabilizationReport(trials=3, converged=3)
+        assert report.ok and "ok" in repr(report)
+        report.violations.append("boom")
+        assert not report.ok and "1 violation(s)" in repr(report)
+
+
+class TestDGRing:
+    def test_ring_n3_stabilizes(self):
+        report = dg_ring_property(3).check("stab-n3", trials=8)
+        assert report.ok, report.violations
+        assert report.converged == report.trials == 8
+        assert report.speculative_ok == report.speculative_trials == 8
+        assert report.max_steps_to_legal > 0  # some corruption bit
+
+    def test_ring_n4_wide_k_stabilizes(self):
+        report = dg_ring_property(4, k=6).check("stab-n4", trials=5)
+        assert report.ok, report.violations
+
+    def test_already_legal_start_settles_immediately(self):
+        prop = dg_ring_property(3)
+        prop.corrupt = lambda sandbox, rng: None  # leave the legal zeros
+        report = prop.check_convergence("legal", trials=1)
+        assert report.ok and report.max_steps_to_legal == 0
+
+    def test_convergence_and_speculation_reports_merge(self):
+        report = dg_ring_property(3).check("merge", trials=2)
+        assert report.trials == 2 and report.speculative_trials == 2
+
+
+class TestNonStabilizing:
+    def _stuck_property(self):
+        # A system that can never repair itself: legality wants x == 1,
+        # the program keeps writing 0, corruption forces x = 0.
+        X = Register("x", 1)
+
+        def build():
+            def prog(pid):
+                while True:
+                    yield ops.write(X, 0)
+
+            return {0: prog}
+
+        return SelfStabilizationProperty(
+            build=build,
+            corrupt=lambda sb, rng: sb.memory.poke(X, 0),
+            legal=lambda sb: sb.memory.peek(X) == 1,
+            speculative_bound=10,
+            max_ops=50,
+            tail=5,
+        )
+
+    def test_never_legal_is_a_violation(self):
+        report = self._stuck_property().check("stuck", trials=2)
+        assert not report.ok
+        assert report.converged == 0 and report.speculative_ok == 0
+        assert all("past the" in v for v in report.violations)
+
+    def test_illegal_inside_tail_is_a_violation(self):
+        # Legal start, but the program breaks legality on its very first
+        # step — inside the budget it would settle... except it keeps
+        # re-breaking, so the last illegal state lands in the tail.
+        prop = self._stuck_property()
+        prop.corrupt = lambda sb, rng: None
+        report = prop.check_convergence("tail", trials=1)
+        assert not report.ok
